@@ -1,0 +1,138 @@
+"""Benchmarks for the future-work extensions (paper Sec. VIII).
+
+* streaming/incremental recomputation vs from-scratch reruns,
+* greedy edge-cut partitioning vs hashing (message locality),
+* binary vs text storage size.
+"""
+
+import io
+import random
+
+from harness import NUM_WORKERS, bench_graph, format_table, once, save_result
+
+from repro.algorithms.runners import default_source
+from repro.algorithms.td.sssp import TemporalSSSP
+from repro.core.engine import IntervalCentricEngine
+from repro.graph.binary_io import dump_graph_binary
+from repro.graph.io import dump_graph
+from repro.runtime.cluster import SimulatedCluster
+from repro.runtime.partitioner import GreedyEdgeCutPartitioner
+from repro.streaming import StreamingIntervalEngine
+
+
+def build_streaming_bench() -> tuple[str, float]:
+    """Cost of keeping SSSP fresh over an edge stream: incremental vs
+    scratch recomputation after every batch."""
+    rng = random.Random(99)
+    n, horizon = 60, 16
+    stream = StreamingIntervalEngine(
+        TemporalSSSP("v0"), cluster=SimulatedCluster(NUM_WORKERS)
+    )
+    for i in range(n):
+        stream.add_vertex(f"v{i}", 0, horizon)
+
+    def random_edge():
+        src, dst = rng.randrange(n), rng.randrange(n)
+        if dst == src:
+            dst = (dst + 1) % n
+        start = rng.randrange(horizon - 1)
+        return (f"v{src}", f"v{dst}", start, rng.randint(start + 1, horizon))
+
+    for _ in range(300):
+        src, dst, s, e = random_edge()
+        stream.add_edge(src, dst, s, e, props={"travel-cost": rng.randint(1, 3),
+                                               "travel-time": 1})
+    stream.compute()  # initial full run
+
+    incremental_calls = 0
+    scratch_calls = 0
+    batches = 10
+    for _ in range(batches):
+        for _ in range(3):
+            src, dst, s, e = random_edge()
+            stream.add_edge(src, dst, s, e, props={"travel-cost": rng.randint(1, 3),
+                                                   "travel-time": 1})
+        refreshed = stream.compute()
+        incremental_calls += refreshed.metrics.compute_calls
+        scratch = IntervalCentricEngine(
+            stream.graph, TemporalSSSP("v0"), cluster=SimulatedCluster(NUM_WORKERS)
+        ).run()
+        scratch_calls += scratch.metrics.compute_calls
+
+    saving = 1 - incremental_calls / scratch_calls
+    table = format_table(
+        ["strategy", f"compute calls over {batches} refreshes"],
+        [["from scratch", scratch_calls],
+         ["incremental (streaming)", incremental_calls],
+         ["saving", f"{saving * 100:.1f}%"]],
+        title="Extension: incremental SSSP over an edge stream",
+    )
+    return table, saving
+
+
+def test_streaming_incremental(benchmark):
+    table, saving = once(benchmark, build_streaming_bench)
+    save_result("ext_streaming.txt", table)
+    assert saving > 0.4
+
+
+def build_partitioning_bench() -> tuple[str, dict]:
+    graph = bench_graph("usrn")
+    source = default_source(graph)
+    results = {}
+    rows = []
+    for name, partitioner in [
+        ("hash", None),
+        ("greedy edge-cut", GreedyEdgeCutPartitioner(NUM_WORKERS, graph)),
+    ]:
+        cluster = SimulatedCluster(NUM_WORKERS, partitioner=partitioner)
+        metrics = IntervalCentricEngine(
+            graph, TemporalSSSP(source), cluster=cluster
+        ).run().metrics
+        remote_fraction = metrics.remote_messages / max(
+            1, metrics.remote_messages + metrics.local_messages
+        )
+        results[name] = remote_fraction
+        rows.append([
+            name, metrics.local_messages, metrics.remote_messages,
+            f"{remote_fraction * 100:.1f}%",
+            f"{metrics.modeled_makespan * 1e3:.3f}",
+        ])
+    table = format_table(
+        ["partitioner", "local", "remote", "remote fraction", "makespan (ms)"],
+        rows,
+        title="Extension: partitioning strategy vs message locality (USRN road grid)",
+    )
+    return table, results
+
+
+def test_partitioning_strategies(benchmark):
+    table, results = once(benchmark, build_partitioning_bench)
+    save_result("ext_partitioning.txt", table)
+    assert results["greedy edge-cut"] < results["hash"]
+
+
+def build_storage_bench() -> tuple[str, dict]:
+    rows = []
+    ratios = {}
+    for name in ("gplus", "twitter", "mag"):
+        graph = bench_graph(name)
+        text = io.StringIO()
+        dump_graph(graph, text)
+        text_bytes = len(text.getvalue().encode("utf-8"))
+        binary = io.BytesIO()
+        binary_bytes = dump_graph_binary(graph, binary)
+        ratios[name] = binary_bytes / text_bytes
+        rows.append([name, text_bytes, binary_bytes, f"{ratios[name] * 100:.1f}%"])
+    table = format_table(
+        ["graph", "text (B)", "binary (B)", "binary/text"],
+        rows,
+        title="Extension: varint binary storage vs text format",
+    )
+    return table, ratios
+
+
+def test_storage_format(benchmark):
+    table, ratios = once(benchmark, build_storage_bench)
+    save_result("ext_storage.txt", table)
+    assert all(ratio < 0.5 for ratio in ratios.values())

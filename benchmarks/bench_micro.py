@@ -1,0 +1,116 @@
+"""Micro-benchmarks of the core kernels.
+
+Unlike the table/figure benches, these use pytest-benchmark's repeated
+timing directly: they measure the warp operator (the paper implements it
+as an ``O(m log m)`` merge-sort aggregation), partitioned-state updates,
+and the message codec — the inner loops everything else sits on.
+"""
+
+import random
+
+from repro.core.interval import FOREVER, Interval
+from repro.core.messages import IntervalMessage
+from repro.core.state import PartitionedState
+from repro.core.warp import time_join, time_warp
+from repro.runtime.encoding import decode_message, encode_message
+
+RNG = random.Random(1234)
+
+
+def _random_messages(m, span=1000, max_len=60):
+    out = []
+    for _ in range(m):
+        start = RNG.randrange(span)
+        out.append((Interval(start, start + RNG.randint(1, max_len)), RNG.randrange(100)))
+    return out
+
+
+def _partitioned_states(n, span=1000):
+    bounds = sorted(RNG.sample(range(1, span), n - 1))
+    cuts = [0, *bounds, span]
+    return [(Interval(lo, hi), f"s{i}") for i, (lo, hi) in enumerate(zip(cuts, cuts[1:]))]
+
+
+class TestWarpKernel:
+    def test_warp_100_messages(self, benchmark):
+        outer = _partitioned_states(8)
+        inner = _random_messages(100)
+        result = benchmark(time_warp, outer, inner)
+        assert result
+
+    def test_warp_1000_messages(self, benchmark):
+        outer = _partitioned_states(8)
+        inner = _random_messages(1000)
+        result = benchmark(time_warp, outer, inner)
+        assert result
+
+    def test_warp_with_inline_combiner(self, benchmark):
+        outer = _partitioned_states(8)
+        inner = _random_messages(1000)
+        result = benchmark(time_warp, outer, inner, min)
+        assert all(len(group) == 1 for _, _, group in result)
+
+    def test_time_join_1000(self, benchmark):
+        outer = _partitioned_states(16)
+        inner = _random_messages(1000)
+        assert benchmark(time_join, outer, inner)
+
+    def test_warp_scaling_is_near_linear(self, benchmark):
+        """The merge-sort aggregation claim: doubling m should not blow up
+        superlinearly (allowing generous constant noise)."""
+        import time
+
+        def measure():
+            outer = _partitioned_states(8)
+            timings = {}
+            for m in (2000, 4000, 8000):
+                inner = _random_messages(m)
+                t0 = time.perf_counter()
+                for _ in range(3):
+                    time_warp(outer, inner)
+                timings[m] = (time.perf_counter() - t0) / 3
+            return timings
+
+        timings = benchmark.pedantic(measure, rounds=1, iterations=1)
+        # 4x the input should cost well under 16x (i.e. far from quadratic).
+        assert timings[8000] < 10 * timings[2000]
+
+
+class TestStateKernel:
+    def test_random_updates(self, benchmark):
+        updates = [
+            (Interval(s := RNG.randrange(990), s + RNG.randint(1, 10)), RNG.randrange(5))
+            for _ in range(200)
+        ]
+
+        def run():
+            state = PartitionedState(Interval(0, 1000), 0)
+            for iv, value in updates:
+                state.set(iv, value)
+            return state
+
+        state = benchmark(run)
+        state.check_invariants()
+
+    def test_slices(self, benchmark):
+        state = PartitionedState(Interval(0, 1000), 0)
+        for _ in range(300):
+            s = RNG.randrange(990)
+            state.set(Interval(s, s + RNG.randint(1, 10)), RNG.randrange(5))
+        windows = [Interval(i * 10, i * 10 + 50) for i in range(90)]
+        benchmark(lambda: [state.slices(w) for w in windows])
+
+
+class TestCodecKernel:
+    MESSAGES = [
+        IntervalMessage(Interval(t, t + 1 if t % 3 else FOREVER), (t % 7, f"v{t % 50}"))
+        for t in range(500)
+    ]
+
+    def test_encode(self, benchmark):
+        benchmark(lambda: [encode_message(m) for m in self.MESSAGES])
+
+    def test_roundtrip(self, benchmark):
+        encoded = [encode_message(m) for m in self.MESSAGES]
+        decoded = benchmark(lambda: [decode_message(raw) for raw in encoded])
+        assert decoded == self.MESSAGES

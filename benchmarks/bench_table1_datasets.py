@@ -1,0 +1,46 @@
+"""Table 1 — dataset characteristics.
+
+Regenerates the paper's dataset table for the six surrogates: snapshot
+count, largest snapshot size, interval / transformed / multi-snapshot
+representation sizes, and average vertex / edge / property lifespans.
+The paper's numbers are at real-graph scale; the *relationships* between
+columns (e.g. transformed ≫ interval for long-lived graphs, edge lifespan
+≈ 1 for GPlus) are the reproduction target.
+"""
+
+from harness import DATASETS, bench_graph, format_table, once, save_result
+
+from repro.graph.stats import dataset_stats
+
+
+def build_table1() -> str:
+    headers = [
+        "Graph", "#Snap", "Largest|V|", "Largest|E|", "Interval|V|",
+        "Interval|E|", "Transf|V|", "Transf|E|", "Multi|V|", "Multi|E|",
+        "V-life", "E-life", "Prop-life",
+    ]
+    rows = []
+    for name in DATASETS:
+        stats = dataset_stats(bench_graph(name), name)
+        rows.append(list(stats.row()))
+    return format_table(headers, rows, title="Table 1: dataset characteristics (surrogates)")
+
+
+def test_table1(benchmark):
+    table = once(benchmark, build_table1)
+    save_result("table1_datasets.txt", table)
+
+    # The surrogates must preserve Table 1's qualitative column relations.
+    gplus = dataset_stats(bench_graph("gplus"), "gplus")
+    twitter = dataset_stats(bench_graph("twitter"), "twitter")
+    usrn = dataset_stats(bench_graph("usrn"), "usrn")
+    # GPlus: unit lifespans → nothing spans snapshots (ICM worst case).
+    assert gplus.avg_edge_lifespan == 1.0
+    # Twitter: edges span the lifetime → multi-snapshot ≫ interval.
+    assert twitter.multi_snapshot_e > 8 * twitter.interval_e
+    # USRN: static topology → largest snapshot equals the interval graph.
+    assert usrn.largest_snapshot_e == usrn.interval_e
+    # Property lifespans never exceed their edge lifespans.
+    for name in DATASETS:
+        stats = dataset_stats(bench_graph(name), name)
+        assert stats.avg_property_lifespan <= stats.avg_edge_lifespan + 1e-9

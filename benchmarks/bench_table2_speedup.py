@@ -1,0 +1,71 @@
+"""Table 2 — ratio of baseline makespan over GRAPHITE, averaged per class.
+
+The paper's headline comparison: for each graph, the mean over the TI
+algorithms of ``makespan(MSB)/makespan(GRAPHITE)`` and
+``makespan(Chlonos)/makespan(GRAPHITE)``, and over the TD algorithms for
+TGB and GoFFish.  >1 means GRAPHITE is faster.
+
+Paper values (real graphs): GRAPHITE wins by 2.3–24.8× on the large,
+long-lived graphs (Twitter, MAG, WebUK) and is within ≈5% on the
+unit-lifespan worst cases (GPlus, USRN ≈ 1).  The reproduction target is
+that ordering, at surrogate scale, on the modeled distributed makespan.
+"""
+
+from harness import (
+    DATASETS,
+    format_table,
+    fmt_ratio,
+    makespan_of,
+    once,
+    run_cell,
+    save_result,
+)
+
+from repro.algorithms.runners import TD_ALGORITHMS, TI_ALGORITHMS
+
+TI_BASELINES = ("MSB", "Chlonos")
+TD_BASELINES = ("TGB", "GoFFish")
+
+
+def _mean_ratio(graph_name: str, algorithms, baseline: str) -> float:
+    ratios = []
+    for algorithm in algorithms:
+        ours = makespan_of(run_cell(graph_name, algorithm, "GRAPHITE").metrics)
+        theirs = makespan_of(run_cell(graph_name, algorithm, baseline).metrics)
+        ratios.append(theirs / ours)
+    return sum(ratios) / len(ratios)
+
+
+def build_table2() -> tuple[str, dict]:
+    ratios: dict[tuple[str, str], float] = {}
+    for graph_name in DATASETS:
+        for baseline in TI_BASELINES:
+            ratios[(baseline, graph_name)] = _mean_ratio(graph_name, TI_ALGORITHMS, baseline)
+        for baseline in TD_BASELINES:
+            ratios[(baseline, graph_name)] = _mean_ratio(graph_name, TD_ALGORITHMS, baseline)
+    headers = ["Baseline", *DATASETS]
+    rows = []
+    for baseline in (*TI_BASELINES, *TD_BASELINES):
+        rows.append([baseline, *(fmt_ratio(ratios[(baseline, g)]) for g in DATASETS)])
+    table = format_table(
+        headers, rows,
+        title=("Table 2: baseline makespan / GRAPHITE makespan "
+               "(modeled; >1 = GRAPHITE faster)\n"
+               "rows 1-2 averaged over TI algorithms, rows 3-4 over TD"),
+    )
+    return table, ratios
+
+
+def test_table2(benchmark):
+    table, ratios = once(benchmark, build_table2)
+    save_result("table2_speedup.txt", table)
+
+    # Shape assertions mirroring the paper's reading of Table 2:
+    # GRAPHITE clearly wins on the long-lifespan graphs...
+    for baseline in ("MSB", "Chlonos", "GoFFish"):
+        for graph_name in ("twitter", "mag"):
+            assert ratios[(baseline, graph_name)] > 1.5, (baseline, graph_name)
+    # ...and is at worst comparable (not catastrophically slower) on the
+    # unit-lifespan worst cases.
+    for baseline in ("MSB", "Chlonos"):
+        assert ratios[(baseline, "gplus")] > 0.7, baseline

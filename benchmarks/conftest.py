@@ -1,0 +1,7 @@
+"""Pytest wiring for the benchmark harness."""
+
+import sys
+from pathlib import Path
+
+# Make `import harness` work regardless of how pytest sets rootdir.
+sys.path.insert(0, str(Path(__file__).parent))

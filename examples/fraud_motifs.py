@@ -1,0 +1,83 @@
+"""Spotting monetary routing patterns in a transaction network.
+
+The paper's introduction motivates temporal motifs: "feed-forward
+triangles in transaction networks let us identify monetary routing
+patterns".  A compliance analyst watches an account graph where payment
+channels open and close; channels that form a *concurrently open cycle*
+allow money to be routed back to its origin — a layering red flag.
+
+We build a transaction network with an embedded routing ring, locate the
+concurrent cycles with temporal triangle counting (TC), confirm the
+window with timeline queries, and enumerate the actual routing journeys.
+
+Run:  python examples/fraud_motifs.py
+"""
+
+import random
+
+from repro.algorithms.td.tc import TemporalTC, global_triangles, tc_count
+from repro.core.engine import IntervalCentricEngine
+from repro.core.interval import Interval
+from repro.graph.builder import TemporalGraphBuilder
+from repro.query import Timeline, find_journeys
+
+HORIZON = 20
+
+
+def build_network():
+    rng = random.Random(7)
+    b = TemporalGraphBuilder()
+    accounts = [f"acct{i}" for i in range(12)] + ["shellA", "shellB", "shellC"]
+    for acct in accounts:
+        b.add_vertex(acct, 0, HORIZON)
+    # Legitimate traffic: short-lived one-way payment channels.
+    for _ in range(40):
+        src, dst = rng.sample(accounts[:12], 2)
+        start = rng.randrange(HORIZON - 2)
+        b.add_edge(src, dst, start, start + rng.randint(1, 3))
+    # The routing ring: three shell accounts with channels that are all
+    # open together during [8, 13) — money can circulate.
+    b.add_edge("shellA", "shellB", 6, 14)
+    b.add_edge("shellB", "shellC", 8, 16)
+    b.add_edge("shellC", "shellA", 5, 13)
+    return b.build()
+
+
+def main() -> None:
+    network = build_network()
+    print(f"Transaction network: {network.num_vertices} accounts, "
+          f"{network.num_edges} payment channels over {HORIZON} days")
+
+    result = IntervalCentricEngine(network, TemporalTC(), graph_name="ledger").run()
+
+    counts = Timeline(
+        [(Interval(t, t + 1), global_triangles(result.states, t))
+         for t in range(HORIZON)]
+    ).coalesced()
+    print("\nConcurrently-open payment cycles per day:")
+    for interval, count in counts:
+        flag = "  ← routing possible!" if count else ""
+        print(f"  {interval}: {count}{flag}")
+
+    suspicious_windows = counts.when(lambda c: c > 0)
+    print(f"\nSuspicious window(s): {suspicious_windows}")
+
+    ringleaders = sorted(
+        vid for vid in network.vertex_ids()
+        if any(tc_count(v) > 0 for _, v in result.states[vid])
+    )
+    print(f"Accounts closing cycles: {ringleaders}")
+
+    window = suspicious_windows[0]
+    loops = find_journeys(
+        network, "shellA", "shellA",
+        window=Interval(window.start, min(window.end + 3, HORIZON)),
+        max_legs=3, allow_revisits=True,
+    )
+    print(f"\nActual routing journeys returning funds to shellA:")
+    for journey in loops:
+        print(f"  {journey}  (round trip in {journey.duration} days)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Compare GRAPHITE against the baseline platforms on one workload.
+
+A miniature of the paper's Table 2 / Fig. 5: run temporal SSSP (TD) and
+BFS (TI) on the Twitter surrogate across every applicable platform and
+print the operation counts and modeled makespans side by side.
+
+Run:  python examples/platform_comparison.py
+"""
+
+from repro.algorithms import platforms_for, run_algorithm
+from repro.datasets import twitter
+
+
+def show(algorithm: str, graph, graph_name: str) -> None:
+    print(f"\n{algorithm} on {graph_name} "
+          f"({graph.num_vertices} vertices, {graph.num_edges} edges, "
+          f"{graph.time_horizon()} snapshots)")
+    header = f"  {'platform':10s} {'calls':>8s} {'msgs':>8s} {'sys-msgs':>8s} " \
+             f"{'supersteps':>10s} {'makespan':>10s}"
+    print(header)
+    baseline = None
+    for platform in platforms_for(algorithm):
+        metrics = run_algorithm(algorithm, platform, graph, graph_name=graph_name).metrics
+        if platform == "GRAPHITE":
+            baseline = metrics.modeled_makespan
+        ratio = f"({metrics.modeled_makespan / baseline:.1f}x)" if baseline else ""
+        print(f"  {platform:10s} {metrics.compute_calls:8d} "
+              f"{metrics.messages_sent:8d} {metrics.system_messages:8d} "
+              f"{metrics.supersteps:10d} {metrics.modeled_makespan * 1e3:7.2f}ms {ratio}")
+
+
+def main() -> None:
+    graph = twitter(scale=0.6)
+    print("GRAPHITE vs baselines — interval sharing on a long-lived graph.")
+    show("BFS", graph, "twitter")
+    show("SSSP", graph, "twitter")
+    print(
+        "\nGRAPHITE's one interval run answers every snapshot at once: the "
+        "baselines re-compute (MSB, GoFFish), re-send (Chlonos only shares "
+        "messages), or blow the graph up into per-time-point replicas (TGB "
+        "— note its extra system messages for replica state transfer)."
+    )
+
+
+if __name__ == "__main__":
+    main()

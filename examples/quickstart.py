@@ -1,0 +1,55 @@
+"""Quickstart: temporal SSSP on the paper's transit network (Fig. 1a).
+
+Builds the running example from the paper — a transit network whose
+connections exist only during departure windows and whose costs change over
+time — and finds the cheapest time-respecting journey from stop A to every
+other stop, per interval of arrival.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.algorithms.td.sssp import INFINITY, TemporalSSSP
+from repro.core.engine import IntervalCentricEngine
+from repro.core.interval import format_time
+from repro.datasets import transit_graph
+
+
+def main() -> None:
+    graph = transit_graph()
+    print(f"Transit network: {graph.num_vertices} stops, {graph.num_edges} connections")
+    print("Connections (departure window, cost):")
+    for edge in sorted(graph.edges(), key=lambda e: str(e.eid)):
+        costs = ", ".join(
+            f"{iv}→cost {value}"
+            for iv, value in edge.properties.timeline("travel-cost")
+        )
+        print(f"  {edge.src} → {edge.dst}  departs {edge.lifespan}  ({costs})")
+
+    program = TemporalSSSP(source="A")
+    engine = IntervalCentricEngine(graph, program, graph_name="transit")
+    result = engine.run()
+
+    print("\nCheapest time-respecting cost from A, per interval of arrival:")
+    for vid in sorted(graph.vertex_ids()):
+        parts = []
+        for interval, cost in result.states[vid]:
+            label = "unreachable" if cost >= INFINITY else f"cost {cost}"
+            parts.append(f"{interval}: {label}")
+        print(f"  {vid}: " + "; ".join(parts))
+
+    m = result.metrics
+    print(
+        f"\nConverged in {m.supersteps} supersteps with {m.compute_calls} "
+        f"compute calls and {m.messages_sent} messages."
+    )
+    print(
+        "Note how B and E are each reachable during two intervals with "
+        "different minimal costs — the answer a snapshot-based system "
+        "cannot produce — and how F is unreachable purely for temporal "
+        "reasons (its only incoming connection expires before any journey "
+        "can get there)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Querying a temporal graph and an ICM result with the timeline algebra.
+
+An analyst slices an evolving collaboration network to business hours,
+tracks how connectivity evolves, and interrogates a shortest-path result:
+when is each answer valid, who is cheapest to reach at closing time, and
+how does total reachability grow over the day?
+
+Run:  python examples/temporal_queries.py
+"""
+
+from repro.algorithms.td.closeness import most_central, temporal_closeness
+from repro.algorithms.td.sssp import INFINITY, TemporalSSSP
+from repro.core.engine import IntervalCentricEngine
+from repro.core.interval import Interval
+from repro.datasets import reddit
+from repro.query import (
+    degree_timeline,
+    edge_count_timeline,
+    state_timeline,
+    temporal_slice,
+    top_k_at,
+    total_over_time,
+    when_stable,
+)
+
+
+def main() -> None:
+    network = reddit(scale=0.4, seed=11)
+    horizon = network.time_horizon()
+    print(f"Collaboration network: {network.num_vertices} people, "
+          f"{network.num_edges} interactions over {horizon} hours")
+
+    print("\nInteractions alive per hour:")
+    for iv, count in edge_count_timeline(network):
+        print(f"  {iv}: {count}")
+
+    busy = temporal_slice(network, Interval(4, 12))
+    print(f"\nBusiness-hours slice [4,12): {busy.num_vertices} people, "
+          f"{busy.num_edges} interactions")
+
+    closeness, _ = temporal_closeness(network, sources=network.vertex_ids()[:10])
+    top, score = most_central(closeness, 1)[0]
+    print(f"\nMost temporally central of the first ten: {top} "
+          f"(harmonic closeness {score:.2f})")
+    print(f"{top}'s out-degree over time: "
+          + ", ".join(f"{iv}:{d}" for iv, d in degree_timeline(network, top)))
+
+    result = IntervalCentricEngine(network, TemporalSSSP(top)).run()
+
+    print(f"\nCheapest reachable people from {top} at closing time (t={horizon - 1}):")
+    for vid, cost in top_k_at(result, horizon - 1, k=4, reverse=False):
+        label = "∞" if cost >= INFINITY else cost
+        print(f"  {vid}: cost {label}")
+
+    someone = next(vid for vid in network.vertex_ids()
+                   if vid != top and min(v for _, v in result.states[vid]) < INFINITY)
+    print(f"\nHow long each answer for {someone} stays valid:")
+    for iv in when_stable(result, someone):
+        value = state_timeline(result, someone).value_at(iv.start)
+        label = "unreachable" if value >= INFINITY else f"cost {value}"
+        print(f"  {iv}: {label}")
+
+    reachable = total_over_time(
+        result, lambda values: sum(1 for v in values if v < INFINITY)
+    )
+    print(f"\nPeople reachable from {top} over time: "
+          + ", ".join(f"{iv}:{n}" for iv, n in reachable))
+
+
+if __name__ == "__main__":
+    main()

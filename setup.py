@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .``) cannot build; this shim
+keeps ``python setup.py develop`` working as a fallback.  Configuration
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

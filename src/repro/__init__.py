@@ -1,0 +1,47 @@
+"""GRAPHITE: an interval-centric model for computing over temporal graphs.
+
+A from-scratch Python reproduction of Gandhi & Simmhan, *An
+Interval-centric Model for Distributed Computing over Temporal Graphs*
+(ICDE 2020): the ICM programming abstraction with its time-warp operator,
+a simulated distributed BSP runtime, the four baseline platforms of the
+paper's evaluation, and the 12 temporal graph algorithms it studies.
+
+Quickstart
+----------
+>>> from repro import Interval, IntervalCentricEngine
+>>> from repro.datasets import transit_graph
+>>> from repro.algorithms.td.sssp import TemporalSSSP
+>>> result = IntervalCentricEngine(transit_graph(), TemporalSSSP("A")).run()
+>>> result.value_at("E", 10)  # cheapest time-respecting cost, arriving by 10
+5
+"""
+
+from .core import (
+    FOREVER,
+    IcmResult,
+    Interval,
+    IntervalCentricEngine,
+    IntervalMessage,
+    IntervalProgram,
+    PartitionedState,
+    time_join,
+    time_warp,
+)
+from .graph import TemporalGraph, TemporalGraphBuilder
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FOREVER",
+    "Interval",
+    "IntervalMessage",
+    "IntervalProgram",
+    "IntervalCentricEngine",
+    "IcmResult",
+    "PartitionedState",
+    "time_join",
+    "time_warp",
+    "TemporalGraph",
+    "TemporalGraphBuilder",
+    "__version__",
+]

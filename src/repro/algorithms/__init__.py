@@ -1,0 +1,27 @@
+"""The 12 TI and TD algorithms of the paper's evaluation (Sec. V, VII-A1)."""
+
+from .runners import (
+    ALL_ALGORITHMS,
+    TD_ALGORITHMS,
+    TD_PLATFORMS,
+    TI_ALGORITHMS,
+    TI_PLATFORMS,
+    RunOutcome,
+    default_source,
+    default_target,
+    platforms_for,
+    run_algorithm,
+)
+
+__all__ = [
+    "TI_ALGORITHMS",
+    "TD_ALGORITHMS",
+    "ALL_ALGORITHMS",
+    "TI_PLATFORMS",
+    "TD_PLATFORMS",
+    "platforms_for",
+    "run_algorithm",
+    "RunOutcome",
+    "default_source",
+    "default_target",
+]

@@ -1,0 +1,216 @@
+"""Unified (algorithm × platform) runner layer for the benchmark harness.
+
+The paper's evaluation runs 12 algorithms on up to 5 platforms per graph.
+This module maps an ``(algorithm, platform)`` pair to the right engine,
+program and graph preparation, returning the run's :class:`RunMetrics`
+and the raw platform result for equivalence checks.
+
+Platform coverage follows the paper exactly: the TI algorithms (BFS, WCC,
+SCC, PR) are compared on GRAPHITE / MSB / Chlonos, the TD algorithms
+(SSSP, EAT, FAST, LD, TMST, RH, LCC, TC) on GRAPHITE / TGB / GoFFish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.baselines.chlonos import run_chlonos
+from repro.baselines.goffish import GoffishEngine
+from repro.baselines.msb import run_msb
+from repro.baselines.tgb import run_tgb
+from repro.core.engine import IntervalCentricEngine
+from repro.graph.model import TemporalGraph
+from repro.graph.transform import build_snapshot_replica_graph
+from repro.runtime.cluster import SimulatedCluster
+from repro.runtime.metrics import RunMetrics
+
+from .td.eat import GoffishEAT, TemporalEAT, TgbEAT
+from .td.fast import GoffishFAST, TemporalFAST, TgbFAST
+from .td.lcc import GoffishLCC, SnapshotLCC, TemporalLCC
+from .td.ld import GoffishLD, TemporalLD, TgbLD
+from .td.reach import GoffishReachability, TemporalReachability, TgbReachability
+from .td.sssp import GoffishSSSP, TemporalSSSP, TgbSSSP
+from .td.tc import GoffishTC, SnapshotTC, TemporalTC
+from .td.tmst import GoffishTMST, TemporalTMST, TgbTMST
+from .ti.bfs import SnapshotBFS, TemporalBFS
+from .ti.pagerank import SnapshotPageRank, TemporalPageRank
+from .ti.scc import run_chlonos_scc, run_icm_scc, run_snapshot_scc
+from .ti.wcc import SnapshotWCC, TemporalWCC, make_undirected
+
+TI_ALGORITHMS = ("BFS", "WCC", "SCC", "PR")
+TD_ALGORITHMS = ("SSSP", "EAT", "FAST", "LD", "TMST", "RH", "LCC", "TC")
+ALL_ALGORITHMS = TI_ALGORITHMS + TD_ALGORITHMS
+
+TI_PLATFORMS = ("GRAPHITE", "MSB", "Chlonos")
+TD_PLATFORMS = ("GRAPHITE", "TGB", "GoFFish")
+
+
+def platforms_for(algorithm: str) -> tuple[str, ...]:
+    """The paper's platform set for an algorithm (TI vs TD matrix)."""
+    return TI_PLATFORMS if algorithm in TI_ALGORITHMS else TD_PLATFORMS
+
+
+@dataclass
+class RunOutcome:
+    """Metrics plus the raw platform result of one run."""
+
+    algorithm: str
+    platform: str
+    metrics: RunMetrics
+    result: Any
+
+
+def default_source(graph: TemporalGraph) -> Any:
+    """A deterministic interesting source: the max out-degree vertex."""
+    return max(graph.vertex_ids(), key=lambda vid: (len(graph.out_edges(vid)), str(vid)))
+
+
+def default_target(graph: TemporalGraph) -> Any:
+    """A deterministic interesting target: the max in-degree vertex."""
+    return max(graph.vertex_ids(), key=lambda vid: (len(graph.in_edges(vid)), str(vid)))
+
+
+def run_algorithm(
+    algorithm: str,
+    platform: str,
+    graph: TemporalGraph,
+    *,
+    cluster: Optional[SimulatedCluster] = None,
+    graph_name: str = "",
+    source: Any = None,
+    target: Any = None,
+    deadline: Optional[int] = None,
+    horizon: Optional[int] = None,
+    batch_size: Optional[int] = None,
+    icm_options: Optional[dict[str, Any]] = None,
+) -> RunOutcome:
+    """Execute one (algorithm, platform) cell of the evaluation matrix."""
+    if algorithm not in ALL_ALGORITHMS:
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+    if platform not in platforms_for(algorithm):
+        raise ValueError(f"{platform} does not run {algorithm} in the paper's matrix")
+    cluster = cluster or SimulatedCluster()
+    if horizon is None:
+        horizon = graph.time_horizon()
+    if source is None:
+        source = default_source(graph)
+    if target is None:
+        target = default_target(graph)
+    if deadline is None:
+        deadline = horizon - 1
+    icm_options = icm_options or {}
+
+    def icm(g, program):
+        engine = IntervalCentricEngine(
+            g, program, cluster=cluster, graph_name=graph_name, **icm_options
+        )
+        return engine.run()
+
+    # --- TI ------------------------------------------------------------------
+    if algorithm == "BFS":
+        if platform == "GRAPHITE":
+            res = icm(graph, TemporalBFS(source))
+            return RunOutcome(algorithm, platform, res.metrics, res)
+        runner = run_msb if platform == "MSB" else run_chlonos
+        kwargs = {} if platform == "MSB" else {"batch_size": batch_size}
+        res = runner(graph, lambda t: SnapshotBFS(source), horizon=horizon,
+                     cluster=cluster, graph_name=graph_name, **kwargs)
+        return RunOutcome(algorithm, platform, res.metrics, res)
+
+    if algorithm == "WCC":
+        undirected = make_undirected(graph)
+        if platform == "GRAPHITE":
+            res = icm(undirected, TemporalWCC())
+            return RunOutcome(algorithm, platform, res.metrics, res)
+        runner = run_msb if platform == "MSB" else run_chlonos
+        kwargs = {} if platform == "MSB" else {"batch_size": batch_size}
+        res = runner(undirected, lambda t: SnapshotWCC(), horizon=horizon,
+                     cluster=cluster, graph_name=graph_name, **kwargs)
+        return RunOutcome(algorithm, platform, res.metrics, res)
+
+    if algorithm == "SCC":
+        if platform == "GRAPHITE":
+            res = run_icm_scc(graph, cluster=cluster, graph_name=graph_name)
+            return RunOutcome(algorithm, platform, res.metrics, res)
+        if platform == "MSB":
+            values, metrics = run_snapshot_scc(
+                graph, horizon=horizon, cluster=cluster, graph_name=graph_name
+            )
+            return RunOutcome(algorithm, platform, metrics, values)
+        values, metrics = run_chlonos_scc(
+            graph, batch_size=batch_size, horizon=horizon,
+            cluster=cluster, graph_name=graph_name,
+        )
+        return RunOutcome(algorithm, platform, metrics, values)
+
+    if algorithm == "PR":
+        if platform == "GRAPHITE":
+            res = icm(graph, TemporalPageRank(graph))
+            return RunOutcome(algorithm, platform, res.metrics, res)
+        runner = run_msb if platform == "MSB" else run_chlonos
+        kwargs = {} if platform == "MSB" else {"batch_size": batch_size}
+        res = runner(graph, lambda t: SnapshotPageRank(), horizon=horizon,
+                     cluster=cluster, graph_name=graph_name, **kwargs)
+        return RunOutcome(algorithm, platform, res.metrics, res)
+
+    # --- TD ------------------------------------------------------------------
+    icm_programs = {
+        "SSSP": lambda: (graph, TemporalSSSP(source)),
+        "EAT": lambda: (graph, TemporalEAT(source)),
+        "FAST": lambda: (graph, TemporalFAST(source, horizon=horizon)),
+        "LD": lambda: (graph.reversed(), TemporalLD(target, deadline)),
+        "TMST": lambda: (graph, TemporalTMST(source)),
+        "RH": lambda: (graph, TemporalReachability(source)),
+        "LCC": lambda: (graph, TemporalLCC()),
+        "TC": lambda: (graph, TemporalTC()),
+    }
+    if platform == "GRAPHITE":
+        g, program = icm_programs[algorithm]()
+        res = icm(g, program)
+        res.metrics.algorithm = algorithm
+        return RunOutcome(algorithm, platform, res.metrics, res)
+
+    if platform == "TGB":
+        if algorithm in ("LCC", "TC"):
+            replica = build_snapshot_replica_graph(graph, horizon=horizon)
+            program = SnapshotLCC() if algorithm == "LCC" else SnapshotTC()
+            res = run_tgb(graph, program, transformed=replica, horizon=horizon,
+                          cluster=cluster, graph_name=graph_name)
+            return RunOutcome(algorithm, platform, res.metrics, res)
+        tgb_programs = {
+            "SSSP": lambda: TgbSSSP(source),
+            "EAT": lambda: TgbEAT(source),
+            "FAST": lambda: TgbFAST(source),
+            "TMST": lambda: TgbTMST(source),
+            "RH": lambda: TgbReachability(source),
+        }
+        if algorithm == "LD":
+            from repro.graph.transform import build_transformed_graph
+
+            transformed = build_transformed_graph(graph, horizon=horizon).reversed()
+            res = run_tgb(graph, TgbLD(target, deadline), transformed=transformed,
+                          horizon=horizon, cluster=cluster, graph_name=graph_name)
+            return RunOutcome(algorithm, platform, res.metrics, res)
+        res = run_tgb(graph, tgb_programs[algorithm](), horizon=horizon,
+                      cluster=cluster, graph_name=graph_name)
+        return RunOutcome(algorithm, platform, res.metrics, res)
+
+    # GoFFish
+    gof_programs = {
+        "SSSP": lambda: (graph, GoffishSSSP(source), 1),
+        "EAT": lambda: (graph, GoffishEAT(source), 1),
+        "FAST": lambda: (graph, GoffishFAST(source), 1),
+        "LD": lambda: (graph.reversed(), GoffishLD(target, deadline), -1),
+        "TMST": lambda: (graph, GoffishTMST(source), 1),
+        "RH": lambda: (graph, GoffishReachability(source), 1),
+        "LCC": lambda: (graph, GoffishLCC(), 1),
+        "TC": lambda: (graph, GoffishTC(), 1),
+    }
+    g, program, direction = gof_programs[algorithm]()
+    engine = GoffishEngine(
+        g, program, horizon=horizon, cluster=cluster,
+        graph_name=graph_name, direction=direction,
+    )
+    res = engine.run()
+    return RunOutcome(algorithm, platform, res.metrics, res)

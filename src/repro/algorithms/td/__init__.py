@@ -1,0 +1,77 @@
+"""Time-dependent algorithms: SSSP, EAT, FAST, LD, TMST, RH, LCC, TC."""
+
+from .closeness import most_central, temporal_closeness
+from .eat import GoffishEAT, TemporalEAT, TgbEAT, earliest_arrival
+from .fast import (
+    GoffishFAST,
+    TemporalFAST,
+    TgbFAST,
+    fastest_duration,
+    tgb_fastest_duration,
+)
+from .journeys import (
+    Leg,
+    TemporalSSSPJourneys,
+    journey_cost,
+    reconstruct_journey,
+)
+from .kcore import TemporalKCore, in_core, run_temporal_kcore
+from .lcc import GoffishLCC, SnapshotLCC, TemporalLCC, lcc_value
+from .ld import GoffishLD, TemporalLD, TgbLD, latest_departure, tgb_latest_departure
+from .reach import (
+    GoffishReachability,
+    TemporalReachability,
+    TgbReachability,
+    is_reachable,
+)
+from .sssp import INFINITY, GoffishSSSP, TemporalSSSP, TgbSSSP
+from .tc import GoffishTC, SnapshotTC, TemporalTC, global_triangles, tc_count
+from .tmst import GoffishTMST, TemporalTMST, TgbTMST, tmst_parent, tmst_tree
+
+__all__ = [
+    "TemporalSSSP",
+    "TgbSSSP",
+    "GoffishSSSP",
+    "INFINITY",
+    "TemporalEAT",
+    "TgbEAT",
+    "GoffishEAT",
+    "earliest_arrival",
+    "TemporalFAST",
+    "TgbFAST",
+    "GoffishFAST",
+    "fastest_duration",
+    "tgb_fastest_duration",
+    "TemporalLD",
+    "TgbLD",
+    "GoffishLD",
+    "latest_departure",
+    "tgb_latest_departure",
+    "TemporalTMST",
+    "TgbTMST",
+    "GoffishTMST",
+    "tmst_parent",
+    "tmst_tree",
+    "TemporalReachability",
+    "TgbReachability",
+    "GoffishReachability",
+    "is_reachable",
+    "TemporalLCC",
+    "SnapshotLCC",
+    "GoffishLCC",
+    "lcc_value",
+    "TemporalTC",
+    "SnapshotTC",
+    "GoffishTC",
+    "tc_count",
+    "global_triangles",
+    "temporal_closeness",
+    "most_central",
+    "TemporalSSSPJourneys",
+    "reconstruct_journey",
+    "journey_cost",
+    "Leg",
+    "TemporalKCore",
+    "run_temporal_kcore",
+    "in_core",
+]

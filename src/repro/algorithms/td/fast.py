@@ -1,0 +1,190 @@
+"""Fastest path duration (TD) — Wu et al. [6], paper Sec. V.
+
+FAST minimises total journey duration (arrival − start), where the journey
+may begin at *any* time the source is active.  Per the paper, "its message
+will include the time at which the journey started at the source for each
+path, and the state maintains the arrival time at a vertex interval".
+
+Two facts make a compact interval-centric formulation possible:
+
+* once two journeys co-exist at a vertex during an interval, only the one
+  with the **latest start** matters for every downstream arrival (future
+  departures are identical); and
+* the **duration at the vertex itself** is fixed at arrival, so it is
+  carried in the message as ``(start, arrival)``.
+
+State is therefore the pair ``(latest_start, best_duration)`` per interval.
+The source explodes each edge-piece departure window into per-time-point
+journeys (one message per distinct start), which is inherent to FAST — the
+transformed-graph baseline pays the same by having one replica per
+departure point.
+
+FAST is one of the two payload shapes for which we define no combiner
+(start and duration are optimised in opposite directions, so a single
+associative fold cannot preserve both).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.combiner import max_combiner
+from repro.core.interval import FOREVER, Interval
+from repro.core.program import IntervalProgram
+from repro.core.state import PartitionedState
+from repro.baselines.goffish import GoffishProgram
+from repro.baselines.tgb import ChainForwardingProgram
+
+#: ``(latest_start, best_duration)`` for "no journey yet".
+NO_JOURNEY = (-1, FOREVER)
+
+#: Marker state for the source vertex, which originates journeys.
+SOURCE = "__source__"
+
+
+class TemporalFAST(IntervalProgram):
+    """Interval-centric fastest path durations from ``source``.
+
+    ``horizon`` bounds the departure enumeration at the source when edge
+    pieces are unbounded (open-ended departure windows).
+    """
+
+    name = "FAST"
+    incremental_safe = True
+
+    def __init__(self, source: Any, time_label: str = "travel-time",
+                 horizon: Optional[int] = None):
+        self.source = source
+        self.time_label = time_label
+        self.horizon = horizon
+
+    def init(self, ctx) -> None:
+        ctx.set_state(ctx.lifespan, NO_JOURNEY)
+
+    def compute(self, ctx, interval: Interval, state, messages: list[tuple[int, int]]) -> None:
+        if ctx.superstep == 1:
+            if ctx.vertex_id == self.source:
+                ctx.set_state(interval, SOURCE)
+            return
+        if state == SOURCE:
+            return
+        latest_start, best_duration = state
+        new_start = max((s for s, _ in messages), default=-1)
+        new_duration = min((a - s for s, a in messages), default=FOREVER)
+        if new_start > latest_start or new_duration < best_duration:
+            ctx.set_state(
+                interval, (max(latest_start, new_start), min(best_duration, new_duration))
+            )
+
+    def scatter(self, ctx, edge, interval: Interval, state):
+        travel_time = edge.get(self.time_label, 1)
+        if state == SOURCE:
+            # One journey per distinct departure time-point in the window.
+            window = interval
+            if window.is_unbounded:
+                if self.horizon is None:
+                    raise ValueError("FAST needs a horizon for unbounded departure windows")
+                clipped = window.intersect(Interval(0, self.horizon))
+                if clipped is None:
+                    return None
+                window = clipped
+            return [
+                (Interval(t + travel_time, FOREVER), (t, t + travel_time))
+                for t in window.points()
+            ]
+        latest_start, _ = state
+        if latest_start < 0:
+            return None
+        arrival = interval.start + travel_time
+        return [(Interval(arrival, FOREVER), (latest_start, arrival))]
+
+
+def fastest_duration(state: PartitionedState) -> Optional[int]:
+    """Project a final FAST state to the overall minimum duration."""
+    best = FOREVER
+    for _, value in state:
+        if value == SOURCE:
+            return 0
+        if value != NO_JOURNEY:
+            best = min(best, value[1])
+    return None if best >= FOREVER else best
+
+
+class TgbFAST(ChainForwardingProgram):
+    """FAST on the transformed graph.
+
+    Replica value = latest journey start reaching the replica; the duration
+    at replica ``(v, t)`` is then ``t - value``.  Source replicas seed their
+    own time as the start.
+    """
+
+    name = "FAST"
+
+    def __init__(self, source: Any):
+        self.source = source
+        self.combiner = max_combiner()
+
+    def init(self, ctx) -> None:
+        ctx.value = -1
+
+    def absorb(self, ctx, messages: list[int]) -> bool:
+        if ctx.superstep == 1:
+            if ctx.vertex_id[0] == self.source:
+                ctx.value = ctx.vertex_id[1]
+                return True
+            return False
+        best = max(messages, default=-1)
+        if best > ctx.value:
+            ctx.value = best
+            return True
+        return False
+
+    def emit(self, ctx, edge) -> Any:
+        return ctx.value
+
+
+def tgb_fastest_duration(result, vid: Any) -> Optional[int]:
+    """Minimum duration over a vertex's replicas in a TGB FAST result."""
+    best = None
+    for t, start in result.replicas_of(vid):
+        if start is not None and start >= 0:
+            duration = t - start
+            if best is None or duration < best:
+                best = duration
+    return best
+
+
+class GoffishFAST(GoffishProgram):
+    """GoFFish-TS fastest path: state = (latest_start, best_duration)."""
+
+    name = "FAST"
+
+    def __init__(self, source: Any, time_label: str = "travel-time"):
+        self.source = source
+        self.time_label = time_label
+
+    def init(self, ctx) -> None:
+        ctx.value = NO_JOURNEY
+
+    def compute(self, ctx, messages: list[tuple[int, int]]) -> None:
+        latest_start, best_duration = ctx.value
+        for s, a in messages:
+            if s > latest_start:
+                latest_start = s
+            if a - s < best_duration:
+                best_duration = a - s
+        is_source = ctx.vertex_id == self.source
+        if is_source:
+            best_duration = 0
+        ctx.value = (latest_start, best_duration)
+        if not is_source and latest_start < 0:
+            return
+        for edge, props in ctx.temporal_out_edges():
+            travel_time = props.get(self.time_label, 1)
+            # The source originates a fresh journey at this departure
+            # point; other vertices continue their latest-started journey.
+            start = ctx.time if is_source else latest_start
+            ctx.send_temporal(
+                edge.dst, ctx.time + travel_time, (start, ctx.time + travel_time)
+            )
+        ctx.keep_alive()

@@ -1,0 +1,164 @@
+"""Latest departure time (TD) — Wu et al. [6], paper Sec. V.
+
+"LD lets one depart late and reach within a bound.  Unlike SSSP, it
+reverse-traverses from sink to source, in space and time" — the ICM program
+therefore runs on the *reversed* graph, and its messages extend backwards,
+``[0, t_max + 1)``: being at the upstream vertex at or before ``t_max``
+suffices to catch the departure.  Warp ensures the temporal bounds are not
+violated.
+
+``LD(v)`` is the latest time one can depart vertex ``v`` and still reach
+the target by the deadline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.combiner import max_combiner
+from repro.core.interval import Interval
+from repro.core.program import IntervalProgram
+from repro.core.state import PartitionedState
+from repro.baselines.goffish import GoffishProgram
+from repro.baselines.tgb import ChainForwardingProgram
+from repro.graph.model import TemporalGraph
+
+#: Departure sentinel for "cannot reach the target in time".
+IMPOSSIBLE = -1
+
+
+class TemporalLD(IntervalProgram):
+    """Interval-centric latest departure towards ``target`` by ``deadline``.
+
+    Run this program on ``graph.reversed()`` — each reversed edge piece
+    still describes the *original* departure window and travel time.
+    """
+
+    name = "LD"
+    incremental_safe = True
+
+    def __init__(self, target: Any, deadline: int, time_label: str = "travel-time"):
+        self.target = target
+        self.deadline = deadline
+        self.time_label = time_label
+        self.combiner = max_combiner()
+
+    def init(self, ctx) -> None:
+        ctx.set_state(ctx.lifespan, IMPOSSIBLE)
+
+    def compute(self, ctx, interval: Interval, state: int, messages: list[int]) -> None:
+        if ctx.superstep == 1:
+            if ctx.vertex_id == self.target:
+                horizon = min(self.deadline + 1, ctx.lifespan.end)
+                if ctx.lifespan.start < horizon:
+                    ctx.set_state(Interval(ctx.lifespan.start, horizon), self.deadline)
+            return
+        best = max(messages, default=IMPOSSIBLE)
+        if best > state:
+            ctx.set_state(interval, best)
+
+    def scatter(self, ctx, edge, interval: Interval, state: int):
+        if state <= IMPOSSIBLE:
+            return None
+        travel_time = edge.get(self.time_label, 1)
+        # Original departures in this piece land at t + travel_time, which
+        # must be no later than the downstream latest departure.
+        t_max = min(interval.end - 1, state - travel_time)
+        if t_max < interval.start:
+            return None
+        return [(Interval(0, t_max + 1), t_max)]
+
+
+def latest_departure(state: PartitionedState) -> Optional[int]:
+    """Project a final LD state to the overall latest departure."""
+    best = max(value for _, value in state)
+    return None if best <= IMPOSSIBLE else best
+
+
+class TgbLD(ChainForwardingProgram):
+    """LD on the *reversed* transformed graph.
+
+    Replica values are booleans: "departing here reaches the target by the
+    deadline".  Reversed application edges walk from arrival replicas back
+    to departure replicas; reversed chain edges let earlier replicas
+    inherit feasibility (waiting).  ``LD(v)`` = max feasible replica time.
+    """
+
+    name = "LD"
+
+    def __init__(self, target: Any, deadline: int):
+        self.target = target
+        self.deadline = deadline
+
+    def init(self, ctx) -> None:
+        ctx.value = False
+
+    def absorb(self, ctx, messages: list[bool]) -> bool:
+        if ctx.superstep == 1:
+            vid, t = ctx.vertex_id
+            if vid == self.target and t <= self.deadline:
+                ctx.value = True
+                return True
+            return False
+        if not ctx.value and any(messages):
+            ctx.value = True
+            return True
+        return False
+
+    def emit(self, ctx, edge) -> Any:
+        return True
+
+
+def tgb_latest_departure(result, vid: Any, deadline: int) -> Optional[int]:
+    """Max feasible departure time over a vertex's replicas (≤ deadline)."""
+    best = None
+    for t, feasible in result.replicas_of(vid):
+        if feasible and t <= deadline and (best is None or t > best):
+            best = t
+    return best
+
+
+class GoffishLD(GoffishProgram):
+    """GoFFish-TS latest departure: backward snapshot iteration.
+
+    Run with ``GoffishEngine(graph.reversed(), ..., direction=-1)``.  The
+    value is the latest feasible departure; temporal messages target
+    *earlier* snapshots.
+
+    Holds per-run broadcast bookkeeping — use a fresh instance per engine
+    run (as :func:`repro.algorithms.run_algorithm` does).
+    """
+
+    name = "LD"
+
+    def __init__(self, target: Any, deadline: int, time_label: str = "travel-time"):
+        self.target = target
+        self.deadline = deadline
+        self.time_label = time_label
+        self._broadcast: dict[Any, tuple[int, int]] = {}
+
+    def init(self, ctx) -> None:
+        ctx.value = IMPOSSIBLE
+
+    def compute(self, ctx, messages: list[int]) -> None:
+        if ctx.vertex_id == self.target:
+            # Being at the target before the deadline always suffices.
+            ctx.value = max(ctx.value, self.deadline)
+        best = max(messages, default=IMPOSSIBLE)
+        if best > ctx.value:
+            ctx.value = best
+        if ctx.value <= IMPOSSIBLE:
+            return
+        t = ctx.time
+        ctx.keep_alive()  # state persists backwards in iteration order
+        # Broadcast only on the first visit at this snapshot or when the
+        # value improved, otherwise inner messages would ping-pong forever.
+        if self._broadcast.get(ctx.vertex_id) == (t, ctx.value):
+            return
+        self._broadcast[ctx.vertex_id] = (t, ctx.value)
+        for edge, props in ctx.temporal_out_edges():
+            # Reversed edge: the original departs upstream at t, arriving
+            # t + travel_time, which must not exceed our latest departure.
+            travel_time = props.get(self.time_label, 1)
+            if t + travel_time <= ctx.value:
+                ctx.send(edge.dst, t)  # same-snapshot (inner) message

@@ -1,0 +1,22 @@
+"""Time-independent algorithms: BFS, WCC, SCC, PageRank."""
+
+from .bfs import SnapshotBFS, TemporalBFS, UNREACHED
+from .pagerank import SnapshotPageRank, TemporalPageRank, vertex_count_timeline
+from .scc import SccResult, run_chlonos_scc, run_icm_scc, run_snapshot_scc
+from .wcc import SnapshotWCC, TemporalWCC, make_undirected
+
+__all__ = [
+    "TemporalBFS",
+    "SnapshotBFS",
+    "UNREACHED",
+    "TemporalWCC",
+    "SnapshotWCC",
+    "make_undirected",
+    "TemporalPageRank",
+    "SnapshotPageRank",
+    "vertex_count_timeline",
+    "run_icm_scc",
+    "run_snapshot_scc",
+    "run_chlonos_scc",
+    "SccResult",
+]

@@ -1,0 +1,33 @@
+"""The four baseline platforms of the paper's evaluation (Sec. VII-A3)."""
+
+from .chlonos import ChlonosEngine, ChlonosResult, run_chlonos
+from .goffish import GoffishContext, GoffishEngine, GoffishProgram, GoffishResult
+from .msb import MultiSnapshotResult, run_msb
+from .tgb import ChainForwardingProgram, TgbResult, run_tgb
+from .vcm import (
+    VcmContext,
+    VcmMaster,
+    VcmResult,
+    VertexCentricEngine,
+    VertexProgram,
+)
+
+__all__ = [
+    "VertexProgram",
+    "VertexCentricEngine",
+    "VcmContext",
+    "VcmMaster",
+    "VcmResult",
+    "run_msb",
+    "MultiSnapshotResult",
+    "run_chlonos",
+    "ChlonosEngine",
+    "ChlonosResult",
+    "run_tgb",
+    "TgbResult",
+    "ChainForwardingProgram",
+    "GoffishEngine",
+    "GoffishProgram",
+    "GoffishContext",
+    "GoffishResult",
+]

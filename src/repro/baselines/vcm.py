@@ -1,0 +1,266 @@
+"""A Pregel-style vertex-centric engine (the baselines' substrate).
+
+All four comparison platforms in the paper are implemented over Apache
+Giraph's vertex-centric model "so that the primitives are the key
+distinction and not the programming language or engine" (Sec. VII-A3).
+This module is our Giraph stand-in: plain BSP over a
+:class:`~repro.graph.snapshots.StaticGraph`, with per-value messages (no
+intervals), implicit vote-to-halt, combiners, aggregators and a
+MasterCompute hook.
+
+The messaging path is factored through :meth:`VertexCentricEngine._flush_sends`
+so that Chlonos can interpose its adjacent-snapshot message sharing.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.core.combiner import MessageCombiner
+from repro.graph.snapshots import StaticEdge, StaticGraph
+from repro.runtime.cluster import SimulatedCluster
+from repro.runtime.encoding import payload_size
+from repro.runtime.metrics import RunMetrics
+
+
+class VcmContext:
+    """A vertex's view during a vertex-centric ``compute`` call."""
+
+    __slots__ = ("_vid", "_engine", "value")
+
+    def __init__(self, vid: Any, engine: "VertexCentricEngine"):
+        self._vid = vid
+        self._engine = engine
+        #: The vertex's mutable value; reassign to update.
+        self.value: Any = None
+
+    @property
+    def vertex_id(self) -> Any:
+        return self._vid
+
+    @property
+    def superstep(self) -> int:
+        return self._engine.superstep
+
+    @property
+    def num_vertices(self) -> int:
+        return self._engine.graph.num_vertices
+
+    def out_edges(self) -> list[StaticEdge]:
+        return self._engine.graph.out_edges(self._vid)
+
+    def out_degree(self) -> int:
+        return len(self._engine.graph.out_edges(self._vid))
+
+    def vertex_props(self) -> dict[str, Any]:
+        return self._engine.graph.vertex_props(self._vid)
+
+    def send(self, dst_vid: Any, value: Any, *, system: bool = False) -> None:
+        """Send ``value`` to any vertex, delivered next superstep."""
+        self._engine.enqueue_send(self._vid, dst_vid, value, system)
+
+    def send_to_neighbors(self, value: Any) -> None:
+        for edge in self.out_edges():
+            self.send(edge.dst, value)
+
+    def aggregate(self, name: str, value: Any) -> None:
+        self._engine.contribute_aggregate(name, value)
+
+    def get_aggregate(self, name: str, default: Any = None) -> Any:
+        return self._engine.read_aggregate(name, default)
+
+    def vote_to_halt(self) -> None:
+        """No-op: halting is implicit (message-driven), as in ICM."""
+
+
+class VcmMaster:
+    """MasterCompute view between supersteps."""
+
+    def __init__(self, superstep: int, aggregates: dict[str, Any], num_active: int):
+        self.superstep = superstep
+        self._aggregates = aggregates
+        self.num_active_vertices = num_active
+        self._halt = False
+        self._overrides: dict[str, Any] = {}
+
+    def get_aggregate(self, name: str, default: Any = None) -> Any:
+        return self._aggregates.get(name, default)
+
+    def set_aggregate(self, name: str, value: Any) -> None:
+        self._overrides[name] = value
+
+    def halt(self) -> None:
+        self._halt = True
+
+
+class VertexProgram(ABC):
+    """User logic for the vertex-centric baselines."""
+
+    name: str = "vcm-program"
+    combiner: Optional[MessageCombiner] = None
+    fixed_supersteps: Optional[int] = None
+
+    def init(self, ctx: VcmContext) -> None:
+        """Seed the vertex value before superstep 1."""
+
+    @abstractmethod
+    def compute(self, ctx: VcmContext, messages: list[Any]) -> None:
+        """One superstep of vertex logic; send messages via ``ctx``."""
+
+    def aggregators(self) -> dict[str, Callable[[Any, Any], Any]]:
+        return {}
+
+    def master_compute(self, master: VcmMaster) -> None:
+        """Between-superstep hook."""
+
+
+@dataclass
+class VcmResult:
+    """Final vertex values plus run metrics."""
+
+    values: dict[Any, Any]
+    metrics: RunMetrics
+    aggregates: dict[str, Any] = field(default_factory=dict)
+
+
+class VertexCentricEngine:
+    """BSP executor for :class:`VertexProgram` over a static graph."""
+
+    def __init__(
+        self,
+        graph: StaticGraph,
+        program: VertexProgram,
+        *,
+        cluster: Optional[SimulatedCluster] = None,
+        platform: str = "VCM",
+        graph_name: str = "",
+        max_supersteps: int = 100_000,
+    ):
+        self.graph = graph
+        self.program = program
+        self.cluster = cluster or SimulatedCluster()
+        self.platform = platform
+        self.graph_name = graph_name
+        self.max_supersteps = max_supersteps
+        self.superstep = 0
+        self._aggregates: dict[str, Any] = {}
+        self._next_aggregates: dict[str, Any] = {}
+        self._aggregator_fns = program.aggregators()
+        self._metrics: Optional[RunMetrics] = None
+        self._sends: list[tuple[Any, Any, Any, bool]] = []
+
+    # -- aggregator plumbing -----------------------------------------------
+
+    def contribute_aggregate(self, name: str, value: Any) -> None:
+        fn = self._aggregator_fns.get(name)
+        if fn is None:
+            raise KeyError(f"no aggregator registered under {name!r}")
+        if name in self._next_aggregates:
+            self._next_aggregates[name] = fn(self._next_aggregates[name], value)
+        else:
+            self._next_aggregates[name] = value
+
+    def read_aggregate(self, name: str, default: Any = None) -> Any:
+        return self._aggregates.get(name, default)
+
+    # -- messaging -----------------------------------------------------------
+
+    def enqueue_send(self, src: Any, dst: Any, value: Any, system: bool) -> None:
+        self._sends.append((src, dst, value, system))
+
+    def _flush_sends(self, metrics: RunMetrics) -> None:
+        """Charge and enqueue this superstep's messages.
+
+        Subclasses (Chlonos) override to share messages across adjacent
+        snapshot replicas before charging.
+
+        Combining happens receiver-side (mirroring GRAPHITE, where warp's
+        combiner runs after receipt), so the *sent* message counts stay
+        comparable across platforms — the quantity Sec. VII-B1 matches.
+        """
+        for src, dst, value, system in self._sends:
+            self.cluster.send(
+                src, dst, value, metrics, system=system, size=1 + payload_size(value)
+            )
+        self._sends = []
+
+    # -- main loop -------------------------------------------------------------
+
+    def run(self) -> VcmResult:
+        metrics = RunMetrics(
+            platform=self.platform, algorithm=self.program.name, graph=self.graph_name
+        )
+        self._metrics = metrics
+        self.cluster.reset()
+
+        t_load = time.perf_counter()
+        contexts: dict[Any, VcmContext] = {}
+        for vid in self.graph.vertex_ids():
+            ctx = VcmContext(vid, self)
+            contexts[vid] = ctx
+        metrics.load_time = time.perf_counter() - t_load
+
+        fixed = self.program.fixed_supersteps
+        t_run = time.perf_counter()
+        self.superstep = 1
+        while True:
+            if self.superstep > self.max_supersteps:
+                raise RuntimeError(
+                    f"{self.program.name} exceeded {self.max_supersteps} supersteps"
+                )
+            if fixed is not None and self.superstep > fixed:
+                break
+            if fixed is None and self.superstep > 1 and not self.cluster.has_pending_messages():
+                break
+
+            inboxes = self.cluster.begin_superstep(self.superstep)
+            if self.superstep == 1 or fixed is not None:
+                active = list(contexts)
+            else:
+                active = [vid for vid in inboxes if vid in contexts]
+
+            calls_before = metrics.compute_calls
+            model = self.cluster.compute_model
+            t0 = time.perf_counter()
+            for vid in active:
+                ctx = contexts[vid]
+                if self.superstep == 1:
+                    self.program.init(ctx)
+                messages = inboxes.get(vid, [])
+                cost = model.per_compute_call_s + len(messages) * model.per_message_scan_s
+                combiner = self.program.combiner
+                if combiner is not None and len(messages) > 1:
+                    folded = messages[0]
+                    for item in messages[1:]:
+                        folded = combiner(folded, item)
+                    metrics.combiner_reductions += len(messages) - 1
+                    messages = [folded]
+                self.program.compute(ctx, messages)
+                metrics.compute_calls += 1
+                self.cluster.add_compute_time(vid, cost)
+            self._flush_sends(metrics)
+            compute_wall = time.perf_counter() - t0
+            metrics.compute_plus_time += compute_wall
+
+            step = self.cluster.end_superstep(metrics)
+            step.compute_time = compute_wall
+            step.compute_calls = metrics.compute_calls - calls_before
+            metrics.supersteps += 1
+
+            self._aggregates = dict(self._next_aggregates)
+            self._next_aggregates = {}
+            master = VcmMaster(self.superstep, dict(self._aggregates), len(active))
+            self.program.master_compute(master)
+            self._aggregates.update(master._overrides)
+            if master._halt:
+                break
+            self.superstep += 1
+
+        metrics.makespan = time.perf_counter() - t_run
+        values = {vid: ctx.value for vid, ctx in contexts.items()}
+        return VcmResult(values=values, metrics=metrics, aggregates=dict(self._aggregates))
+
+

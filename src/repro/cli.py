@@ -1,0 +1,229 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``       Execute one algorithm on one platform over a surrogate
+              dataset and print its metrics.
+``compare``   Run an algorithm on every applicable platform (a one-row
+              slice of the paper's Table 2).
+``datasets``  Print Table-1 style statistics for the built-in surrogates.
+``convert``   Dump a surrogate dataset to the text graph format.
+``trace``     Render a Fig-2-style execution trace of an ICM run.
+``journeys``  Enumerate time-respecting journeys between two vertices.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.algorithms import ALL_ALGORITHMS, platforms_for, run_algorithm
+from repro.datasets import SURROGATES, load_surrogate, transit_graph
+from repro.graph.io import dump_graph
+from repro.graph.stats import dataset_stats
+from repro.runtime.cluster import SimulatedCluster
+
+DATASET_CHOICES = ("transit", *sorted(SURROGATES))
+
+
+def _load(name: str, scale: float):
+    if name == "transit":
+        return transit_graph()
+    return load_surrogate(name, scale=scale)
+
+
+def _print_metrics(metrics) -> None:
+    rows = [
+        ("platform", metrics.platform),
+        ("algorithm", metrics.algorithm),
+        ("supersteps", metrics.supersteps),
+        ("compute calls", metrics.compute_calls),
+        ("scatter calls", metrics.scatter_calls),
+        ("messages", metrics.messages_sent),
+        ("system messages", metrics.system_messages),
+        ("message bytes", metrics.message_bytes),
+        ("local / remote", f"{metrics.local_messages} / {metrics.remote_messages}"),
+        ("modeled makespan", f"{metrics.modeled_makespan * 1e3:.3f} ms"),
+        ("  compute+", f"{metrics.modeled_compute_time * 1e3:.3f} ms"),
+        ("  messaging", f"{metrics.messaging_time * 1e3:.3f} ms"),
+        ("  barriers", f"{metrics.barrier_time * 1e3:.3f} ms"),
+        ("wall time", f"{metrics.makespan * 1e3:.3f} ms"),
+    ]
+    width = max(len(label) for label, _ in rows)
+    for label, value in rows:
+        print(f"  {label.ljust(width)}  {value}")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    graph = _load(args.dataset, args.scale)
+    outcome = run_algorithm(
+        args.algorithm, args.platform, graph,
+        cluster=SimulatedCluster(args.workers),
+        graph_name=args.dataset,
+    )
+    print(f"{args.algorithm} on {args.dataset} "
+          f"({graph.num_vertices} vertices, {graph.num_edges} edges):")
+    _print_metrics(outcome.metrics)
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    graph = _load(args.dataset, args.scale)
+    print(f"{args.algorithm} on {args.dataset}: platform comparison")
+    print(f"  {'platform':10s} {'calls':>9s} {'messages':>9s} {'makespan':>12s}")
+    base: Optional[float] = None
+    for platform in platforms_for(args.algorithm):
+        metrics = run_algorithm(
+            args.algorithm, platform, graph,
+            cluster=SimulatedCluster(args.workers), graph_name=args.dataset,
+        ).metrics
+        if base is None:
+            base = metrics.modeled_makespan
+        ratio = metrics.modeled_makespan / base
+        print(f"  {platform:10s} {metrics.compute_calls:9d} "
+              f"{metrics.total_messages:9d} {metrics.modeled_makespan * 1e3:9.3f} ms "
+              f"({ratio:.2f}x)")
+    return 0
+
+
+def cmd_datasets(args: argparse.Namespace) -> int:
+    print(f"{'name':9s} {'|V|':>6s} {'|E|':>6s} {'snaps':>6s} "
+          f"{'E-life':>7s} {'P-life':>7s}")
+    for name in DATASET_CHOICES:
+        graph = _load(name, args.scale)
+        stats = dataset_stats(graph, name)
+        print(f"{name:9s} {stats.interval_v:6d} {stats.interval_e:6d} "
+              f"{stats.num_snapshots:6d} {stats.avg_edge_lifespan:7.2f} "
+              f"{stats.avg_property_lifespan:7.2f}")
+    return 0
+
+
+def cmd_convert(args: argparse.Namespace) -> int:
+    graph = _load(args.dataset, args.scale)
+    dump_graph(graph, args.output)
+    print(f"wrote {graph.num_vertices} vertices / {graph.num_edges} edges "
+          f"to {args.output}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.algorithms.runners import default_source, default_target
+    from repro.core.engine import IntervalCentricEngine
+    from repro.core.tracing import ExecutionTracer
+    from repro.algorithms.runners import run_algorithm  # noqa: F401 (platforms)
+
+    graph = _load(args.dataset, args.scale)
+    source = default_source(graph)
+    tracer = ExecutionTracer()
+    # Only GRAPHITE runs are traceable; build the program like the runner.
+    from repro.algorithms.td.eat import TemporalEAT
+    from repro.algorithms.td.reach import TemporalReachability
+    from repro.algorithms.td.sssp import TemporalSSSP
+    from repro.algorithms.ti.bfs import TemporalBFS
+
+    programs = {
+        "SSSP": lambda: TemporalSSSP(source),
+        "EAT": lambda: TemporalEAT(source),
+        "RH": lambda: TemporalReachability(source),
+        "BFS": lambda: TemporalBFS(source),
+    }
+    if args.algorithm not in programs:
+        print(f"trace supports {sorted(programs)}; got {args.algorithm}")
+        return 2
+    engine = IntervalCentricEngine(
+        graph, programs[args.algorithm](), tracer=tracer, graph_name=args.dataset
+    )
+    engine.run()
+    vertices = set(args.vertices) if args.vertices else None
+    print(f"{args.algorithm} on {args.dataset} from source {source!r}:")
+    print(tracer.render(vertices=vertices))
+    return 0
+
+
+def cmd_journeys(args: argparse.Namespace) -> int:
+    from repro.core.interval import Interval
+    from repro.query.paths import find_journeys
+
+    graph = _load(args.dataset, args.scale)
+    for vid in (args.source, args.target):
+        if not graph.has_vertex(vid):
+            print(f"no vertex {vid!r} in {args.dataset}; "
+                  f"ids look like: {graph.vertex_ids()[:5]}")
+            return 2
+    window = Interval(0, args.by if args.by is not None else graph.time_horizon())
+    journeys = find_journeys(
+        graph, args.source, args.target,
+        window=window, max_legs=args.max_legs, max_results=args.limit,
+    )
+    if not journeys:
+        print(f"no time-respecting journey {args.source} → {args.target} "
+              f"within {window} and ≤{args.max_legs} legs")
+        return 1
+    print(f"{len(journeys)} journey(s) {args.source} → {args.target} within {window}:")
+    for journey in journeys:
+        print(f"  arr {journey.arrival:>3}  cost {journey.cost:>3}  "
+              f"dur {journey.duration:>3}  {journey}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GRAPHITE / interval-centric temporal graph computing",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("--dataset", choices=DATASET_CHOICES, default="twitter")
+        p.add_argument("--scale", type=float, default=0.5,
+                       help="surrogate size multiplier (default 0.5)")
+        p.add_argument("--workers", type=int, default=8,
+                       help="simulated cluster size (default 8)")
+
+    p_run = sub.add_parser("run", help="run one algorithm on one platform")
+    p_run.add_argument("algorithm", choices=ALL_ALGORITHMS)
+    p_run.add_argument("--platform", default="GRAPHITE")
+    add_common(p_run)
+    p_run.set_defaults(fn=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="run on every applicable platform")
+    p_cmp.add_argument("algorithm", choices=ALL_ALGORITHMS)
+    add_common(p_cmp)
+    p_cmp.set_defaults(fn=cmd_compare)
+
+    p_ds = sub.add_parser("datasets", help="show surrogate dataset statistics")
+    p_ds.add_argument("--scale", type=float, default=0.5)
+    p_ds.set_defaults(fn=cmd_datasets)
+
+    p_cv = sub.add_parser("convert", help="dump a dataset to the text format")
+    p_cv.add_argument("output", help="output file path")
+    add_common(p_cv)
+    p_cv.set_defaults(fn=cmd_convert)
+
+    p_tr = sub.add_parser("trace", help="render an execution trace")
+    p_tr.add_argument("algorithm", choices=("SSSP", "EAT", "RH", "BFS"))
+    p_tr.add_argument("--vertices", nargs="*", default=None,
+                      help="restrict the trace to these vertex ids")
+    add_common(p_tr)
+    p_tr.set_defaults(fn=cmd_trace)
+
+    p_jn = sub.add_parser("journeys", help="enumerate time-respecting journeys")
+    p_jn.add_argument("source")
+    p_jn.add_argument("target")
+    p_jn.add_argument("--by", type=int, default=None,
+                      help="arrive before this time-point (default: horizon)")
+    p_jn.add_argument("--max-legs", type=int, default=4)
+    p_jn.add_argument("--limit", type=int, default=20)
+    add_common(p_jn)
+    p_jn.set_defaults(fn=cmd_journeys)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""Interval-centric computing model (ICM): the paper's core contribution."""
+
+from .combiner import (
+    MessageCombiner,
+    max_combiner,
+    min_combiner,
+    or_combiner,
+    sum_combiner,
+    tuple_min_combiner,
+)
+from .context import EdgeContext, MasterContext, VertexContext
+from .engine import IcmResult, IntervalCentricEngine
+from .interval import FOREVER, Interval, coalesce, total_span
+from .intervalset import IntervalSet
+from .messages import IntervalMessage, message, unit_message_fraction
+from .program import IntervalProgram
+from .results_io import export_states_csv, export_states_dense_csv, export_states_json
+from .state import PartitionedState, states_equal_pointwise
+from .tracing import ExecutionTracer
+from .warp import time_join, time_warp, warp_boundaries
+
+__all__ = [
+    "FOREVER",
+    "Interval",
+    "IntervalSet",
+    "coalesce",
+    "total_span",
+    "IntervalMessage",
+    "message",
+    "unit_message_fraction",
+    "PartitionedState",
+    "states_equal_pointwise",
+    "time_join",
+    "time_warp",
+    "warp_boundaries",
+    "MessageCombiner",
+    "min_combiner",
+    "max_combiner",
+    "sum_combiner",
+    "or_combiner",
+    "tuple_min_combiner",
+    "IntervalProgram",
+    "VertexContext",
+    "EdgeContext",
+    "MasterContext",
+    "IntervalCentricEngine",
+    "IcmResult",
+    "ExecutionTracer",
+    "export_states_csv",
+    "export_states_dense_csv",
+    "export_states_json",
+]

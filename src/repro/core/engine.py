@@ -1,0 +1,511 @@
+"""The interval-centric BSP engine — GRAPHITE's execution core (Sec. IV, VI).
+
+Execution alternates computation and communication phases over supersteps:
+
+1. **Superstep 1** — ``init`` then ``compute`` runs on *every* vertex over
+   its full lifespan with no messages.
+2. **Later supersteps** — only vertices that received messages are active.
+   The pre-compute **time-warp** aligns and groups inbound messages with the
+   vertex's partitioned states; ``compute`` is invoked once per warped
+   triple.  State updates are recorded, and the pre-scatter time-join maps
+   each updated sub-interval onto the property-constant pieces of each
+   out-edge, invoking ``scatter`` once per overlap.
+3. Messages are delivered at the global barrier; vertices implicitly vote to
+   halt and are reactivated only by messages.  The run stops when no
+   messages are in flight (or after ``fixed_supersteps`` for algorithms like
+   PageRank).
+
+Engineering optimisations from Sec. VI are implemented and switchable:
+receiver-side and inline-warp combiners, warp suppression for unit-length
+message traffic, and varint message encoding (in the simulated transport).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+from repro.runtime.cluster import SimulatedCluster
+from repro.runtime.metrics import RunMetrics
+
+from .combiner import coalesce_messages
+from .context import EdgeContext, MasterContext, VertexContext
+from .interval import Interval, coalesce
+from .messages import IntervalMessage, unit_message_fraction
+from .program import IntervalProgram
+from .state import PartitionedState
+from .warp import time_warp
+
+
+class IcmProgramError(RuntimeError):
+    """A user program raised during compute/scatter.
+
+    Wraps the original exception with the execution context a distributed
+    log would otherwise bury: vertex, superstep, phase and interval.
+    """
+
+    def __init__(self, phase: str, vertex: Any, superstep: int,
+                 interval, original: BaseException):
+        super().__init__(
+            f"{phase} failed at vertex {vertex!r}, superstep {superstep}, "
+            f"interval {interval}: {original!r}"
+        )
+        self.phase = phase
+        self.vertex = vertex
+        self.superstep = superstep
+        self.interval = interval
+        self.original = original
+
+
+@dataclass
+class IcmResult:
+    """Outcome of an interval-centric run."""
+
+    states: dict[Any, PartitionedState]
+    metrics: RunMetrics
+    aggregates: dict[str, Any] = field(default_factory=dict)
+
+    def state_of(self, vid: Any) -> PartitionedState:
+        return self.states[vid]
+
+    def value_at(self, vid: Any, t: int) -> Any:
+        return self.states[vid].value_at(t)
+
+
+class IntervalCentricEngine:
+    """Run an :class:`IntervalProgram` over a temporal graph.
+
+    Parameters
+    ----------
+    graph:
+        The :class:`~repro.graph.model.TemporalGraph` to process.
+    program:
+        User logic.
+    cluster:
+        Simulated cluster; a fresh 8-worker cluster is created by default.
+    enable_warp_combiner / enable_receiver_combiner:
+        Apply the program's combiner inline in warp / receiver-side on
+        identical intervals (paper Sec. VI; both default on, as in the
+        paper's experiments).
+    enable_warp_suppression / warp_suppression_threshold:
+        Skip warp for a vertex when at least this fraction of its inbound
+        messages are unit-length, degenerating to time-point execution.
+    coalesce_states:
+        Merge adjacent equal-valued state partitions after updates.
+    max_supersteps:
+        Safety valve; exceeding it raises ``RuntimeError``.
+    """
+
+    def __init__(
+        self,
+        graph,
+        program: IntervalProgram,
+        *,
+        cluster: Optional[SimulatedCluster] = None,
+        graph_name: str = "",
+        enable_warp_combiner: bool = True,
+        enable_receiver_combiner: bool = True,
+        enable_dominated_elimination: bool = True,
+        enable_warp_suppression: bool = True,
+        warp_suppression_threshold: float = 0.70,
+        suppression_expansion_cap: int = 4,
+        coalesce_states: bool = True,
+        prepartition_by_vertex_properties: bool = False,
+        max_supersteps: int = 100_000,
+        tracer=None,
+    ):
+        self.graph = graph
+        self.program = program
+        self.cluster = cluster or SimulatedCluster()
+        self.graph_name = graph_name
+        self.enable_warp_combiner = enable_warp_combiner
+        self.enable_receiver_combiner = enable_receiver_combiner
+        self.enable_dominated_elimination = enable_dominated_elimination
+        self.enable_warp_suppression = enable_warp_suppression
+        self.warp_suppression_threshold = warp_suppression_threshold
+        self.suppression_expansion_cap = suppression_expansion_cap
+        self.coalesce_states = coalesce_states
+        #: Paper footnote 2: states may be pre-partitioned on the
+        #: sub-intervals of the vertex's static properties, making the
+        #: computing unit an *interval property vertex*.  Off by default
+        #: (properties are optional and coalescing undoes unused splits).
+        self.prepartition_by_vertex_properties = prepartition_by_vertex_properties
+        self.max_supersteps = max_supersteps
+        #: Optional ExecutionTracer recording compute/scatter/send events.
+        self.tracer = tracer
+
+        self.superstep = 0
+        self._aggregates: dict[str, Any] = {}
+        self._next_aggregates: dict[str, Any] = {}
+        self._aggregator_fns = program.aggregators()
+        self._metrics: Optional[RunMetrics] = None
+
+    def send_direct(self, src_vid: Any, dst_vid: Any, interval: Interval, value: Any) -> None:
+        """Direct (non-edge) messaging service backing ``ctx.send``."""
+        assert self._metrics is not None, "send_direct outside run()"
+        if self.tracer is not None:
+            self.tracer.on_send(self.superstep, src_vid, dst_vid, interval, value)
+        self.cluster.send(src_vid, dst_vid, IntervalMessage(interval, value), self._metrics)
+
+    # -- aggregator services (called via VertexContext) ------------------------
+
+    def contribute_aggregate(self, name: str, value: Any) -> None:
+        """Fold ``value`` into the named aggregator (next-superstep scope)."""
+        fn = self._aggregator_fns.get(name)
+        if fn is None:
+            raise KeyError(f"no aggregator registered under {name!r}")
+        if name in self._next_aggregates:
+            self._next_aggregates[name] = fn(self._next_aggregates[name], value)
+        else:
+            self._next_aggregates[name] = value
+
+    def read_aggregate(self, name: str, default: Any = None) -> Any:
+        """The value the aggregator reduced to in the previous superstep."""
+        return self._aggregates.get(name, default)
+
+    # -- main loop ----------------------------------------------------------
+
+    def run(
+        self,
+        *,
+        warm_states: Optional[dict[Any, PartitionedState]] = None,
+        rescatter: Optional[dict[Any, list[Interval]]] = None,
+    ) -> IcmResult:
+        """Execute to convergence and return states plus metrics.
+
+        Parameters
+        ----------
+        warm_states:
+            Resume from a previous run's states instead of calling ``init``
+            everywhere.  Vertices present in the mapping skip superstep-1
+            initialisation; vertices *absent* from it (newly added to the
+            graph) are initialised normally.  The streaming engine uses
+            this for incremental recomputation.
+        rescatter:
+            Vertex → interval windows whose current state should be
+            scattered again in superstep 1 (e.g. over newly added edges).
+            Only meaningful together with ``warm_states``.
+        """
+        metrics = RunMetrics(
+            platform="GRAPHITE",
+            algorithm=self.program.name,
+            graph=self.graph_name,
+        )
+        self._metrics = metrics
+        self.cluster.reset()
+        rescatter = rescatter or {}
+
+        t_load = time.perf_counter()
+        contexts: dict[Any, VertexContext] = {}
+        fresh: set[Any] = set()
+        for v in self.graph.vertices():
+            if warm_states is not None and v.vid in warm_states:
+                state = warm_states[v.vid].copy()
+            else:
+                state = PartitionedState(v.lifespan, None, coalesce=self.coalesce_states)
+                if self.prepartition_by_vertex_properties:
+                    for boundary in v.properties.boundaries():
+                        if v.lifespan.start < boundary < v.lifespan.end:
+                            state._split_at(boundary)
+                fresh.add(v.vid)
+            contexts[v.vid] = VertexContext(v, state, self)
+        metrics.load_time = time.perf_counter() - t_load
+
+        fixed = self.program.fixed_supersteps
+        t_run = time.perf_counter()
+        self.superstep = 1
+        while True:
+            if self.superstep > self.max_supersteps:
+                raise RuntimeError(
+                    f"{self.program.name} exceeded {self.max_supersteps} supersteps"
+                )
+            if fixed is not None and self.superstep > fixed:
+                break
+            if fixed is None and self.superstep > 1 and not self.cluster.has_pending_messages():
+                break
+
+            inboxes = self.cluster.begin_superstep(self.superstep)
+            if self.superstep == 1:
+                if warm_states is None:
+                    active = list(contexts)
+                else:
+                    active = [vid for vid in contexts
+                              if vid in fresh or vid in rescatter]
+            elif fixed is not None:
+                active = list(contexts)
+            else:
+                active = [vid for vid in inboxes if vid in contexts]
+
+            calls_before = metrics.compute_calls
+            scatter_before = metrics.scatter_calls
+            t0 = time.perf_counter()
+            for vid in active:
+                ctx = contexts[vid]
+                if self.superstep == 1 and warm_states is not None and vid not in fresh:
+                    # Warm vertex: re-scatter its existing state over the
+                    # requested windows (monotone programs absorb the
+                    # resulting re-deliveries harmlessly).
+                    ctx._updated.extend(rescatter[vid])
+                    cost = self._scatter_updates(ctx, metrics)
+                else:
+                    cost = self._process_vertex(ctx, inboxes.get(vid, []), metrics)
+                self.cluster.add_compute_time(vid, cost)
+            compute_wall = time.perf_counter() - t0
+            metrics.compute_plus_time += compute_wall
+
+            step = self.cluster.end_superstep(metrics)
+            step.compute_time = compute_wall
+            step.compute_calls = metrics.compute_calls - calls_before
+            step.scatter_calls = metrics.scatter_calls - scatter_before
+            metrics.supersteps += 1
+
+            self._aggregates = self._reduce_aggregates()
+            master = MasterContext(self.superstep, dict(self._aggregates), len(active))
+            self.program.master_compute(master)
+            self._aggregates.update(master._overrides)
+            if master._halt:
+                break
+            self.superstep += 1
+
+        metrics.makespan = time.perf_counter() - t_run
+        states = {vid: ctx._state for vid, ctx in contexts.items()}
+        return IcmResult(states=states, metrics=metrics, aggregates=dict(self._aggregates))
+
+    # -- program invocation (error-context wrapping) ---------------------------
+
+    def _invoke_compute(self, ctx, interval, value, group, metrics) -> None:
+        ctx._begin("compute", interval)
+        if self.tracer is not None:
+            self.tracer.on_compute(self.superstep, ctx.vertex_id, interval, value, group)
+        try:
+            self.program.compute(ctx, interval, value, group)
+        except IcmProgramError:
+            raise
+        except Exception as exc:
+            raise IcmProgramError(
+                "compute", ctx.vertex_id, self.superstep, interval, exc
+            ) from exc
+        metrics.compute_calls += 1
+
+    # -- per-vertex processing -----------------------------------------------
+
+    def _process_vertex(
+        self, ctx: VertexContext, messages: list[IntervalMessage], metrics: RunMetrics
+    ) -> float:
+        """Run one vertex's computation phase; returns its modeled cost."""
+        program = self.program
+        model = self.cluster.compute_model
+        cost = 0.0
+        if self.superstep == 1:
+            ctx._begin("init", ctx.lifespan)
+            program.init(ctx)
+            ctx._end()
+            ctx._take_updates()  # seeding the state does not trigger scatter
+            for interval, value in ctx.state.partitions():
+                self._invoke_compute(ctx, interval, value, [], metrics)
+                cost += model.per_compute_call_s
+            ctx._end()
+        elif messages:
+            cost += self._compute_on_messages(ctx, messages, metrics)
+        elif program.fixed_supersteps is not None:
+            # Fixed-superstep programs treat every vertex interval as active.
+            for interval, value in ctx.state.partitions():
+                self._invoke_compute(ctx, interval, value, [], metrics)
+                cost += model.per_compute_call_s
+            ctx._end()
+        cost += self._scatter_updates(ctx, metrics)
+        return cost
+
+    def _compute_on_messages(
+        self, ctx: VertexContext, messages: list[IntervalMessage], metrics: RunMetrics
+    ) -> float:
+        program = self.program
+        model = self.cluster.compute_model
+        combiner = program.combiner
+        cost = 0.0
+        if combiner is not None and self.enable_receiver_combiner:
+            before = len(messages)
+            cost += before * model.per_message_scan_s  # the receiver pass
+            messages = combiner.combine_identical_intervals(messages)
+            if self.enable_dominated_elimination:
+                messages = combiner.combine_dominated(messages)
+            metrics.combiner_reductions += before - len(messages)
+
+        if self._should_suppress_warp(messages):
+            metrics.warp_suppressed_vertices += 1
+            cost += self._compute_time_point(ctx, messages, metrics)
+            covered = coalesce(
+                m.interval for m in messages if m.interval.overlaps(ctx.lifespan)
+            )
+        else:
+            metrics.warp_calls += 1
+            cost += len(messages) * model.per_warp_item_s
+            outer = ctx.state.partitions()
+            inner = [(m.interval, m.value) for m in messages]
+            combine = combiner if (combiner is not None and self.enable_warp_combiner) else None
+            triples = time_warp(outer, inner, combine)
+            for interval, value, group in triples:
+                self._invoke_compute(ctx, interval, value, group, metrics)
+                # Inline-folded groups are singletons: compute's scan over
+                # the message group is what the warp combiner saves.
+                cost += model.per_compute_call_s + len(group) * model.per_message_scan_s
+            ctx._end()
+            covered = coalesce(iv for iv, _, _ in triples)
+
+        if program.fixed_supersteps is not None:
+            # Complement intervals get an empty-message compute call so the
+            # whole lifespan advances each superstep (PageRank-style).
+            for gap in _complement(ctx.lifespan, covered):
+                for interval, value in ctx.state.slices(gap):
+                    self._invoke_compute(ctx, interval, value, [], metrics)
+                    cost += model.per_compute_call_s
+            ctx._end()
+        return cost
+
+    def _compute_time_point(
+        self, ctx: VertexContext, messages: list[IntervalMessage], metrics: RunMetrics
+    ) -> float:
+        """Warp-suppressed path: degenerate to time-point-centric execution.
+
+        Messages are bucketed per time-point; each active time-point gets
+        one compute call with all values covering it, so correctness is
+        unchanged (every point still sees its full message group exactly
+        once).  The saving is the warp's per-item merge cost.
+        """
+        program = self.program
+        model = self.cluster.compute_model
+        combiner = program.combiner if self.enable_warp_combiner else None
+        cost = 0.0
+        buckets: dict[int, list[Any]] = {}
+        for msg in messages:
+            clipped = msg.interval.intersect(ctx.lifespan)
+            if clipped is None:
+                continue
+            for t in clipped.points():
+                buckets.setdefault(t, []).append(msg.value)
+        for t in sorted(buckets):
+            group = buckets[t]
+            cost += model.per_compute_call_s + len(group) * model.per_message_scan_s
+            if combiner is not None and len(group) > 1:
+                folded = group[0]
+                for item in group[1:]:
+                    folded = combiner(folded, item)
+                group = [folded]
+            interval = Interval.point(t)
+            self._invoke_compute(ctx, interval, ctx.state.value_at(t), group, metrics)
+        ctx._end()
+        return cost
+
+    def _should_suppress_warp(self, messages: list[IntervalMessage]) -> bool:
+        if not self.enable_warp_suppression or not messages:
+            return False
+        if unit_message_fraction(messages) < self.warp_suppression_threshold:
+            return False
+        total_points = 0
+        cap = self.suppression_expansion_cap * len(messages)
+        for msg in messages:
+            if msg.interval.is_unbounded:
+                return False
+            total_points += msg.interval.length
+            if total_points > cap:
+                return False
+        return True
+
+    # -- scatter ---------------------------------------------------------------
+
+    def _scatter_updates(self, ctx: VertexContext, metrics: RunMetrics) -> float:
+        updated = ctx._take_updates()
+        if not updated:
+            return 0.0
+        program = self.program
+        model = self.cluster.compute_model
+        cost = 0.0
+        vid = ctx.vertex_id
+        out_edges = self.graph.out_edges(vid)
+        if not out_edges:
+            return 0.0
+        outbox: dict[Any, list[IntervalMessage]] = {}
+        for window in updated:
+            slices = ctx.state.slices(window)
+            for edge in out_edges:
+                if not edge.lifespan.overlaps(window):
+                    continue
+                for piece_iv, piece in edge.pieces(window):
+                    for s_iv, s_val in slices:
+                        common = s_iv.intersect(piece_iv)
+                        if common is None:
+                            continue
+                        edge_ctx = EdgeContext(edge, common, piece.values)
+                        ctx._begin("scatter", common)
+                        if self.tracer is not None:
+                            self.tracer.on_scatter(
+                                self.superstep, vid, edge.eid, common, s_val
+                            )
+                        try:
+                            result = program.scatter(ctx, edge_ctx, common, s_val)
+                        except IcmProgramError:
+                            raise
+                        except Exception as exc:
+                            raise IcmProgramError(
+                                "scatter", vid, self.superstep, common, exc
+                            ) from exc
+                        ctx._end()
+                        metrics.scatter_calls += 1
+                        cost += model.per_scatter_call_s
+                        for msg in _normalise_scatter(result):
+                            outbox.setdefault(edge.dst, []).append(msg)
+        combiner = program.combiner
+        selective = combiner is not None and combiner.selective
+        for dst, msgs in outbox.items():
+            if len(msgs) > 1:
+                if selective and self.enable_receiver_combiner and self.enable_dominated_elimination:
+                    # Sender-side pass of the dominated-message rule: a
+                    # message contained in another that wins the fold
+                    # carries no information — keep it off the wire.
+                    msgs = combiner.combine_dominated(msgs)
+                # Merge equal values over adjacent intervals (and over
+                # overlapping ones when the combiner allows): one interval
+                # message instead of one per edge-property piece.
+                msgs = coalesce_messages(msgs, allow_overlap=selective)
+            for msg in msgs:
+                if self.tracer is not None:
+                    self.tracer.on_send(self.superstep, vid, dst, msg.interval, msg.value)
+                self.cluster.send(vid, dst, msg, metrics)
+        return cost
+
+    # -- internals ---------------------------------------------------------
+
+    def _reduce_aggregates(self) -> dict[str, Any]:
+        reduced = dict(self._next_aggregates)
+        self._next_aggregates = {}
+        return reduced
+
+
+def _normalise_scatter(result) -> Iterable[IntervalMessage]:
+    if result is None:
+        return
+    for item in result:
+        if item is None:
+            continue
+        if isinstance(item, IntervalMessage):
+            yield item
+        else:
+            interval, value = item
+            yield IntervalMessage(interval, value)
+
+
+def _complement(lifespan: Interval, covered: list[Interval]) -> list[Interval]:
+    """Sub-intervals of ``lifespan`` not covered by the sorted cover."""
+    gaps: list[Interval] = []
+    cursor = lifespan.start
+    for iv in covered:
+        clipped = iv.intersect(lifespan)
+        if clipped is None:
+            continue
+        if clipped.start > cursor:
+            gaps.append(Interval(cursor, clipped.start))
+        cursor = max(cursor, clipped.end)
+    if cursor < lifespan.end:
+        gaps.append(Interval(cursor, lifespan.end))
+    return gaps

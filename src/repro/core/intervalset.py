@@ -1,0 +1,147 @@
+"""Sets of time-points represented as sorted disjoint intervals.
+
+The engine and the query layer repeatedly need set algebra over time —
+"when is the answer stable AND the vertex reachable", "which part of the
+lifespan is NOT covered by messages".  :class:`IntervalSet` provides
+union, intersection, difference and complement with the usual laws,
+always normalised to a minimal sorted disjoint representation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from .interval import FOREVER, Interval, coalesce
+
+
+class IntervalSet:
+    """An immutable set of time-points stored as disjoint intervals.
+
+    Supports the operators ``|``, ``&``, ``-``, ``^``, ``in`` (time-point
+    membership) and comparison by coverage (``<=`` is subset).
+    """
+
+    __slots__ = ("_intervals",)
+
+    def __init__(self, intervals: Iterable[Interval] = ()):
+        self._intervals: tuple[Interval, ...] = tuple(coalesce(intervals))
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "IntervalSet":
+        """The empty set of time-points."""
+        return cls(())
+
+    @classmethod
+    def of(cls, *spans: tuple[int, int]) -> "IntervalSet":
+        """Build from ``(start, end)`` pairs: ``IntervalSet.of((0, 5), (9, 12))``."""
+        return cls(Interval(s, e) for s, e in spans)
+
+    @classmethod
+    def point(cls, t: int) -> "IntervalSet":
+        """The singleton set ``{t}``."""
+        return cls([Interval.point(t)])
+
+    @classmethod
+    def always(cls) -> "IntervalSet":
+        """The whole time domain."""
+        return cls([Interval.always()])
+
+    # -- queries -----------------------------------------------------------
+
+    def intervals(self) -> list[Interval]:
+        """The minimal sorted disjoint intervals covering the set."""
+        return list(self._intervals)
+
+    def __bool__(self) -> bool:
+        return bool(self._intervals)
+
+    def __len__(self) -> int:
+        """Number of maximal intervals (not time-points)."""
+        return len(self._intervals)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._intervals)
+
+    def __contains__(self, t: int) -> bool:
+        return any(iv.contains_point(t) for iv in self._intervals)
+
+    def total_points(self) -> int:
+        """Cumulative number of time-points (``FOREVER`` when unbounded)."""
+        if any(iv.is_unbounded for iv in self._intervals):
+            return FOREVER
+        return sum(iv.length for iv in self._intervals)
+
+    def span(self) -> Optional[Interval]:
+        """Hull from first start to last end, or ``None`` when empty."""
+        if not self._intervals:
+            return None
+        return Interval(self._intervals[0].start, self._intervals[-1].end)
+
+    # -- algebra -------------------------------------------------------------
+
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        """Set union (also ``self | other``)."""
+        return IntervalSet((*self._intervals, *other._intervals))
+
+    def intersection(self, other: "IntervalSet") -> "IntervalSet":
+        """Set intersection (also ``self & other``)."""
+        out = []
+        for a in self._intervals:
+            for b in other._intervals:
+                common = a.intersect(b)
+                if common is not None:
+                    out.append(common)
+        return IntervalSet(out)
+
+    def difference(self, other: "IntervalSet") -> "IntervalSet":
+        """Set difference (also ``self - other``)."""
+        remaining = list(self._intervals)
+        for cut in other._intervals:
+            next_remaining = []
+            for iv in remaining:
+                common = iv.intersect(cut)
+                if common is None:
+                    next_remaining.append(iv)
+                    continue
+                if iv.start < common.start:
+                    next_remaining.append(Interval(iv.start, common.start))
+                if common.end < iv.end:
+                    next_remaining.append(Interval(common.end, iv.end))
+            remaining = next_remaining
+        return IntervalSet(remaining)
+
+    def symmetric_difference(self, other: "IntervalSet") -> "IntervalSet":
+        """Points in exactly one operand (also ``self ^ other``)."""
+        return self.difference(other).union(other.difference(self))
+
+    def complement(self, universe: Optional[Interval] = None) -> "IntervalSet":
+        """Points of ``universe`` (default: the whole domain) not in self."""
+        return IntervalSet([universe or Interval.always()]).difference(self)
+
+    def clip(self, window: Interval) -> "IntervalSet":
+        """Restrict to ``window``."""
+        return self.intersection(IntervalSet([window]))
+
+    def issubset(self, other: "IntervalSet") -> bool:
+        """Every point of self lies in ``other`` (also ``self <= other``)."""
+        return not self.difference(other)
+
+    # -- operators -----------------------------------------------------------
+
+    __or__ = union
+    __and__ = intersection
+    __sub__ = difference
+    __xor__ = symmetric_difference
+    __le__ = issubset
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IntervalSet) and self._intervals == other._intervals
+
+    def __hash__(self) -> int:
+        return hash(self._intervals)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(iv) for iv in self._intervals)
+        return f"IntervalSet({inner})"

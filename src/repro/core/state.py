@@ -1,0 +1,217 @@
+"""Dynamically partitioned vertex state (paper Sec. IV-A1).
+
+A vertex's dynamic state is a set of ``(interval, value)`` partitions that
+*exactly* cover the vertex's lifespan with no overlaps:
+
+    ``S(τ) = {⟨τ_i, s_i⟩}`` with ``t¹_s = t_s``, ``tⁿ_e = t_e`` and
+    ``tʲ_e = tʲ⁺¹_s`` for consecutive partitions.
+
+States are *dynamically repartitioned* when a sub-interval is updated: the
+covering partitions are split at the update boundaries and the new value is
+written into the interior.  Splitting a partition while replicating its value
+is always semantics-preserving, and so is the reverse (coalescing adjacent
+equal-valued partitions) — the engine relies on coalescing to keep future
+warp outputs maximal.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Callable, Iterator, Optional
+
+from .interval import Interval
+
+
+class PartitionedState:
+    """Interval-partitioned value store covering a fixed lifespan.
+
+    Parameters
+    ----------
+    lifespan:
+        Static lifespan ``τ`` of the owning vertex.  All reads and writes
+        must fall within it.
+    initial:
+        Value assigned to the single initial partition spanning the whole
+        lifespan.
+    coalesce:
+        When true (default), adjacent partitions whose values compare equal
+        are merged after every update.  This keeps the partition count — and
+        hence the number of downstream ``compute``/``scatter`` calls —
+        minimal, which is where ICM's compute sharing comes from.
+    """
+
+    __slots__ = ("lifespan", "_starts", "_ends", "_values", "_coalesce")
+
+    def __init__(self, lifespan: Interval, initial: Any = None, *, coalesce: bool = True):
+        self.lifespan = lifespan
+        self._starts: list[int] = [lifespan.start]
+        self._ends: list[int] = [lifespan.end]
+        self._values: list[Any] = [initial]
+        self._coalesce = coalesce
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of partitions currently covering the lifespan."""
+        return len(self._starts)
+
+    def __iter__(self) -> Iterator[tuple[Interval, Any]]:
+        for s, e, v in zip(self._starts, self._ends, self._values):
+            yield Interval(s, e), v
+
+    def partitions(self) -> list[tuple[Interval, Any]]:
+        """All partitions as a sorted ``(interval, value)`` list."""
+        return list(self)
+
+    def value_at(self, t: int) -> Any:
+        """Value of the partition covering time-point ``t``."""
+        idx = self._locate(t)
+        return self._values[idx]
+
+    def slices(self, window: Interval) -> list[tuple[Interval, Any]]:
+        """Partitions overlapping ``window``, clipped to it.
+
+        The result is itself a temporally partitioned cover of
+        ``window ∩ lifespan``.
+        """
+        out: list[tuple[Interval, Any]] = []
+        lo = max(window.start, self.lifespan.start)
+        hi = min(window.end, self.lifespan.end)
+        if lo >= hi:
+            return out
+        idx = self._locate(lo)
+        while idx < len(self._starts) and self._starts[idx] < hi:
+            s = max(self._starts[idx], lo)
+            e = min(self._ends[idx], hi)
+            out.append((Interval(s, e), self._values[idx]))
+            idx += 1
+        return out
+
+    def distinct_values(self) -> list[Any]:
+        """Values in partition order (possibly with repeats across gaps)."""
+        return list(self._values)
+
+    # -- updates -----------------------------------------------------------
+
+    def set(self, interval: Interval, value: Any) -> None:
+        """Assign ``value`` to ``interval``, repartitioning as needed.
+
+        Raises
+        ------
+        ValueError
+            If ``interval`` is not within the lifespan.
+        """
+        if not interval.within(self.lifespan):
+            raise ValueError(f"update {interval} outside lifespan {self.lifespan}")
+        first = self._split_at(interval.start)
+        last = self._split_at(interval.end)
+        # Replace every partition in [first, last) with a single new one.
+        self._starts[first:last] = [interval.start]
+        self._ends[first:last] = [interval.end]
+        self._values[first:last] = [value]
+        if self._coalesce:
+            self._coalesce_around(first)
+
+    def update(
+        self, interval: Interval, fn: Callable[[Interval, Any], Any]
+    ) -> None:
+        """Apply ``fn(sub_interval, old_value)`` to every covered slice."""
+        for sub, old in self.slices(interval):
+            self.set(sub, fn(sub, old))
+
+    def fill(self, value: Any) -> None:
+        """Reset to a single partition spanning the lifespan."""
+        self._starts = [self.lifespan.start]
+        self._ends = [self.lifespan.end]
+        self._values = [value]
+
+    # -- maintenance -------------------------------------------------------
+
+    def copy(self) -> "PartitionedState":
+        """An independent deep-enough copy (partitions are duplicated)."""
+        clone = PartitionedState(self.lifespan, None, coalesce=self._coalesce)
+        clone._starts = list(self._starts)
+        clone._ends = list(self._ends)
+        clone._values = list(self._values)
+        return clone
+
+    def check_invariants(self) -> None:
+        """Assert full lifespan coverage with contiguous, ordered partitions.
+
+        Used by the test-suite; cheap enough to call in debug paths.
+        """
+        assert self._starts[0] == self.lifespan.start
+        assert self._ends[-1] == self.lifespan.end
+        for i in range(len(self._starts)):
+            assert self._starts[i] < self._ends[i]
+            if i + 1 < len(self._starts):
+                assert self._ends[i] == self._starts[i + 1]
+
+    # -- internals ---------------------------------------------------------
+
+    def _locate(self, t: int) -> int:
+        """Index of the partition containing time-point ``t``."""
+        if not self.lifespan.contains_point(t):
+            raise ValueError(f"time-point {t} outside lifespan {self.lifespan}")
+        return bisect_right(self._starts, t) - 1
+
+    def _split_at(self, t: int) -> int:
+        """Ensure a partition boundary exists at ``t``; return its index.
+
+        Returns ``len(self)`` when ``t`` equals the lifespan end.
+        """
+        if t == self.lifespan.end:
+            return len(self._starts)
+        idx = self._locate(t)
+        if self._starts[idx] == t:
+            return idx
+        # Split partition idx at t, replicating its value.
+        self._starts.insert(idx + 1, t)
+        self._ends.insert(idx + 1, self._ends[idx])
+        self._values.insert(idx + 1, self._values[idx])
+        self._ends[idx] = t
+        return idx + 1
+
+    def _coalesce_around(self, idx: int) -> None:
+        """Merge partition ``idx`` with equal-valued neighbours."""
+        # Merge with successor first so idx stays valid.
+        if idx + 1 < len(self._values) and self._values[idx] == self._values[idx + 1]:
+            self._ends[idx] = self._ends[idx + 1]
+            del self._starts[idx + 1], self._ends[idx + 1], self._values[idx + 1]
+        if idx > 0 and self._values[idx - 1] == self._values[idx]:
+            self._ends[idx - 1] = self._ends[idx]
+            del self._starts[idx], self._ends[idx], self._values[idx]
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{iv}={v!r}" for iv, v in self)
+        return f"PartitionedState({parts})"
+
+
+def states_equal_pointwise(
+    a: PartitionedState, b: PartitionedState, *, eq: Optional[Callable[[Any, Any], bool]] = None
+) -> bool:
+    """True when two states agree at every time-point of their lifespans.
+
+    Partitionings may differ (splitting replicates values), so comparison is
+    over the *pointwise* function, computed by aligning partition boundaries.
+    """
+    if a.lifespan != b.lifespan:
+        return False
+    same = eq or (lambda x, y: x == y)
+    ai = iter(a)
+    bi = iter(b)
+    iv_a, v_a = next(ai)
+    iv_b, v_b = next(bi)
+    while True:
+        if not same(v_a, v_b):
+            return False
+        if iv_a.end == iv_b.end:
+            try:
+                iv_a, v_a = next(ai)
+                iv_b, v_b = next(bi)
+            except StopIteration:
+                return True
+        elif iv_a.end < iv_b.end:
+            iv_a, v_a = next(ai)
+        else:
+            iv_b, v_b = next(bi)

@@ -1,0 +1,32 @@
+"""Datasets: the Fig-1a transit example, Table-1 surrogates, LDBC scaling."""
+
+from .ldbc import ldbc_graph
+from .synthetic import (
+    SURROGATES,
+    TRAVEL_COST,
+    TRAVEL_TIME,
+    gplus,
+    load_surrogate,
+    mag,
+    reddit,
+    twitter,
+    usrn,
+    webuk,
+)
+from .transit import EXPECTED_SSSP_FROM_A, transit_graph
+
+__all__ = [
+    "transit_graph",
+    "EXPECTED_SSSP_FROM_A",
+    "SURROGATES",
+    "load_surrogate",
+    "gplus",
+    "reddit",
+    "usrn",
+    "mag",
+    "twitter",
+    "webuk",
+    "ldbc_graph",
+    "TRAVEL_COST",
+    "TRAVEL_TIME",
+]

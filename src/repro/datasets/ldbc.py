@@ -1,0 +1,59 @@
+"""LDBC-style generator for the weak-scaling study (paper Fig. 7).
+
+The paper generates a synthetic graph with LDBC's Facebook degree
+distribution and perturbs its structure over 128 time-points using
+Facebook's LinkBench distributions; the largest snapshot holds
+``m × 10M`` vertices and ``m × 100M`` edges for ``m`` machines.
+
+This generator mirrors the shape at a Python-tractable scale: a power-law
+base structure sized proportionally to the machine count, with
+LinkBench-flavoured churn — edges are born and die over the horizon, with
+birth times skewed towards the beginning (most of the graph exists early,
+then evolves) and lifespans drawn from a heavy-tailed distribution.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.interval import Interval
+from repro.graph.builder import TemporalGraphBuilder
+from repro.graph.model import TemporalGraph
+
+from .synthetic import TRAVEL_COST, TRAVEL_TIME, _powerlaw_pairs
+
+
+def ldbc_graph(
+    machines: int,
+    *,
+    vertices_per_machine: int = 200,
+    edges_per_machine: int = 2000,
+    horizon: int = 32,
+    seed: int = 42,
+) -> TemporalGraph:
+    """Build the weak-scaling input for ``machines`` simulated machines.
+
+    The per-machine load (``vertices_per_machine`` × ``machines`` vertices,
+    likewise edges) is fixed, so doubling the machines doubles the graph —
+    the weak-scaling contract of Fig. 7.
+    """
+    rng = random.Random(seed + machines)
+    n = vertices_per_machine * machines
+    m = edges_per_machine * machines
+    builder = TemporalGraphBuilder()
+    for vid in range(n):
+        builder.add_vertex(f"v{vid}", 0, horizon)
+    for src, dst in _powerlaw_pairs(n, m, rng):
+        # LinkBench-style churn: births skew early (beta-ish draw), and
+        # lifespans are heavy-tailed so many edges persist to the end.
+        birth = int(horizon * min(rng.random(), rng.random()))
+        length = max(1, min(horizon - birth, round(rng.paretovariate(1.2))))
+        lifespan = Interval(birth, birth + length)
+        builder.add_edge(
+            f"v{src}", f"v{dst}", lifespan.start, lifespan.end,
+            props={
+                TRAVEL_COST: [(lifespan.start, lifespan.end, rng.randint(1, 9))],
+                TRAVEL_TIME: 1,
+            },
+        )
+    return builder.build()

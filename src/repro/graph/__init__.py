@@ -1,0 +1,46 @@
+"""Temporal property graph model, snapshots, transformed graphs, IO."""
+
+from .binary_io import dump_graph_binary, load_graph_binary
+from .builder import TemporalGraphBuilder
+from .io import dump_graph, load_graph
+from .model import EdgePiece, TemporalEdge, TemporalGraph, TemporalVertex
+from .parsers import load_contact_sequence, load_snap_edgelist
+from .properties import PropertySet, PropertyTimeline
+from .snapshots import (
+    StaticEdge,
+    StaticGraph,
+    iter_snapshots,
+    largest_snapshot,
+    snapshot_at,
+    snapshot_sizes,
+)
+from .stats import DatasetStats, dataset_stats, memory_footprint
+from .transform import CHAIN, build_transformed_graph, transformed_size
+
+__all__ = [
+    "TemporalGraph",
+    "TemporalVertex",
+    "TemporalEdge",
+    "EdgePiece",
+    "TemporalGraphBuilder",
+    "PropertySet",
+    "PropertyTimeline",
+    "StaticGraph",
+    "StaticEdge",
+    "snapshot_at",
+    "iter_snapshots",
+    "snapshot_sizes",
+    "largest_snapshot",
+    "build_transformed_graph",
+    "transformed_size",
+    "CHAIN",
+    "DatasetStats",
+    "dataset_stats",
+    "memory_footprint",
+    "dump_graph",
+    "load_graph",
+    "dump_graph_binary",
+    "load_graph_binary",
+    "load_snap_edgelist",
+    "load_contact_sequence",
+]

@@ -1,0 +1,117 @@
+"""Text serialisation of temporal graphs.
+
+The format is a line-oriented, human-diffable analogue of the edge-list
+files the paper loads from HDFS:
+
+```
+# comments and blank lines ignored
+V <vid> <start> <end>
+VP <vid> <label> <start> <end> <value>
+E <eid> <src> <dst> <start> <end>
+EP <eid> <label> <start> <end> <value>
+```
+
+``end`` may be the literal ``inf``.  Values are stored via ``repr`` and read
+back with a small literal parser (ints, floats, strings, booleans).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Any, TextIO, Union
+
+from repro.core.interval import FOREVER, Interval
+from .model import TemporalEdge, TemporalGraph, TemporalVertex
+
+
+def dump_graph(graph: TemporalGraph, target: Union[str, Path, TextIO]) -> None:
+    """Write ``graph`` to a path or open text handle."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as fh:
+            _dump(graph, fh)
+    else:
+        _dump(graph, target)
+
+
+def load_graph(source: Union[str, Path, TextIO]) -> TemporalGraph:
+    """Read a graph previously written by :func:`dump_graph`."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as fh:
+            return _load(fh)
+    return _load(source)
+
+
+# -- internals ---------------------------------------------------------------
+
+
+def _fmt_time(t: int) -> str:
+    return "inf" if t >= FOREVER else str(t)
+
+
+def _parse_time(token: str) -> int:
+    return FOREVER if token == "inf" else int(token)
+
+
+def _fmt_value(value: Any) -> str:
+    return repr(value)
+
+
+def _parse_value(token: str) -> Any:
+    return ast.literal_eval(token)
+
+
+def _dump(graph: TemporalGraph, fh: TextIO) -> None:
+    fh.write("# repro temporal graph v1\n")
+    for v in sorted(graph.vertices(), key=lambda x: str(x.vid)):
+        fh.write(f"V\t{v.vid}\t{_fmt_time(v.lifespan.start)}\t{_fmt_time(v.lifespan.end)}\n")
+        for label in v.properties:
+            for iv, val in v.properties.timeline(label):
+                fh.write(
+                    f"VP\t{v.vid}\t{label}\t{_fmt_time(iv.start)}\t{_fmt_time(iv.end)}\t{_fmt_value(val)}\n"
+                )
+    for e in sorted(graph.edges(), key=lambda x: str(x.eid)):
+        fh.write(
+            f"E\t{e.eid}\t{e.src}\t{e.dst}\t{_fmt_time(e.lifespan.start)}\t{_fmt_time(e.lifespan.end)}\n"
+        )
+        for label in e.properties:
+            for iv, val in e.properties.timeline(label):
+                fh.write(
+                    f"EP\t{e.eid}\t{label}\t{_fmt_time(iv.start)}\t{_fmt_time(iv.end)}\t{_fmt_value(val)}\n"
+                )
+
+
+def _load(fh: TextIO) -> TemporalGraph:
+    graph = TemporalGraph()
+    edges_by_id: dict[str, TemporalEdge] = {}
+    for lineno, raw in enumerate(fh, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split("\t")
+        kind = parts[0]
+        try:
+            if kind == "V":
+                _, vid, s, e = parts
+                graph._add_vertex(TemporalVertex(vid, Interval(_parse_time(s), _parse_time(e))))
+            elif kind == "VP":
+                _, vid, label, s, e, val = parts
+                graph.vertex(vid).properties.add(
+                    label, Interval(_parse_time(s), _parse_time(e)), _parse_value(val)
+                )
+            elif kind == "E":
+                _, eid, src, dst, s, e = parts
+                edge = TemporalEdge(eid, src, dst, Interval(_parse_time(s), _parse_time(e)))
+                edges_by_id[eid] = edge
+                graph._add_edge(edge)
+            elif kind == "EP":
+                _, eid, label, s, e, val = parts
+                edges_by_id[eid].properties.add(
+                    label, Interval(_parse_time(s), _parse_time(e)), _parse_value(val)
+                )
+            else:
+                raise ValueError(f"unknown record kind {kind!r}")
+        except (ValueError, KeyError) as exc:
+            raise ValueError(f"line {lineno}: cannot parse {line!r}") from exc
+    graph.validate()
+    return graph

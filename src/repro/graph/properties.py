@@ -1,0 +1,150 @@
+"""Interval-valued property timelines (paper Def. 1, sets ``A_V``/``A_E``).
+
+A property label maps to a *timeline*: a set of ``(interval, value)`` pairs
+whose intervals never overlap ("a label may have distinct values for
+non-overlapping intervals during the lifespan of its vertex (or edge)").
+Unlike a :class:`~repro.core.state.PartitionedState`, a timeline need not
+cover the whole lifespan — time-points without a value simply have none.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Iterator, Optional
+
+from repro.core.interval import Interval
+
+
+class PropertyTimeline:
+    """Sorted, non-overlapping ``(interval, value)`` pairs for one label."""
+
+    __slots__ = ("_starts", "_entries")
+
+    def __init__(self) -> None:
+        self._starts: list[int] = []
+        self._entries: list[tuple[Interval, Any]] = []
+
+    def add(self, interval: Interval, value: Any) -> None:
+        """Insert a value for an interval.
+
+        Raises
+        ------
+        ValueError
+            If the interval overlaps an existing entry (Def. 1 forbids
+            overlapping values for one label).
+        """
+        idx = bisect_right(self._starts, interval.start)
+        if idx > 0 and self._entries[idx - 1][0].overlaps(interval):
+            raise ValueError(
+                f"property interval {interval} overlaps {self._entries[idx - 1][0]}"
+            )
+        if idx < len(self._entries) and self._entries[idx][0].overlaps(interval):
+            raise ValueError(
+                f"property interval {interval} overlaps {self._entries[idx][0]}"
+            )
+        self._starts.insert(idx, interval.start)
+        self._entries.insert(idx, (interval, value))
+
+    def value_at(self, t: int) -> Optional[Any]:
+        """Value at time-point ``t``, or ``None`` when no entry covers it."""
+        idx = bisect_right(self._starts, t) - 1
+        if idx >= 0 and self._entries[idx][0].contains_point(t):
+            return self._entries[idx][1]
+        return None
+
+    def pieces(self, window: Interval) -> list[tuple[Interval, Any]]:
+        """Entries overlapping ``window``, clipped to it, in time order."""
+        out: list[tuple[Interval, Any]] = []
+        idx = bisect_right(self._starts, window.start) - 1
+        if idx < 0:
+            idx = 0
+        while idx < len(self._entries):
+            iv, val = self._entries[idx]
+            if iv.start >= window.end:
+                break
+            common = iv.intersect(window)
+            if common is not None:
+                out.append((common, val))
+            idx += 1
+        return out
+
+    def boundaries(self) -> list[int]:
+        """All start/end points of entries, sorted and de-duplicated."""
+        bounds: set[int] = set()
+        for iv, _ in self._entries:
+            bounds.add(iv.start)
+            bounds.add(iv.end)
+        return sorted(bounds)
+
+    def entries(self) -> list[tuple[Interval, Any]]:
+        return list(self._entries)
+
+    def span(self) -> Optional[Interval]:
+        """Hull from first start to last end, or ``None`` when empty."""
+        if not self._entries:
+            return None
+        return Interval(self._entries[0][0].start, max(iv.end for iv, _ in self._entries))
+
+    def total_covered(self) -> int:
+        """Cumulative number of time-points with a value."""
+        return sum(iv.length for iv, _ in self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[tuple[Interval, Any]]:
+        return iter(self._entries)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{iv}={v!r}" for iv, v in self._entries)
+        return f"PropertyTimeline({inner})"
+
+
+class PropertySet:
+    """Label → timeline mapping attached to a vertex or an edge."""
+
+    __slots__ = ("_timelines",)
+
+    def __init__(self) -> None:
+        self._timelines: dict[str, PropertyTimeline] = {}
+
+    def add(self, label: str, interval: Interval, value: Any) -> None:
+        self._timelines.setdefault(label, PropertyTimeline()).add(interval, value)
+
+    def timeline(self, label: str) -> Optional[PropertyTimeline]:
+        return self._timelines.get(label)
+
+    def value_at(self, label: str, t: int) -> Optional[Any]:
+        tl = self._timelines.get(label)
+        return tl.value_at(t) if tl is not None else None
+
+    def labels(self) -> list[str]:
+        return sorted(self._timelines)
+
+    def boundaries(self) -> list[int]:
+        """Union of change points across every label's timeline."""
+        bounds: set[int] = set()
+        for tl in self._timelines.values():
+            bounds.update(tl.boundaries())
+        return sorted(bounds)
+
+    def values_at(self, t: int) -> dict[str, Any]:
+        """Snapshot of all labels that have a value at ``t``."""
+        out: dict[str, Any] = {}
+        for label, tl in self._timelines.items():
+            val = tl.value_at(t)
+            if val is not None:
+                out[label] = val
+        return out
+
+    def __len__(self) -> int:
+        return len(self._timelines)
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._timelines
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._timelines)
+
+    def total_entries(self) -> int:
+        return sum(len(tl) for tl in self._timelines.values())

@@ -1,0 +1,140 @@
+"""Snapshot views of a temporal graph (the multi-snapshot representation).
+
+A snapshot ``S_t`` is the static property graph of entities alive at
+time-point ``t`` (paper Fig. 1c).  Baseline platforms (MSB, Chlonos,
+GoFFish) operate on snapshots; GRAPHITE never materialises them except for
+comparison and statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.core.interval import Interval
+from .model import EdgeId, TemporalGraph, VertexId
+
+
+class StaticEdge:
+    """A directed edge of a snapshot, with scalar property values."""
+
+    __slots__ = ("eid", "src", "dst", "props")
+
+    def __init__(self, eid: EdgeId, src: VertexId, dst: VertexId, props: dict[str, Any]):
+        self.eid = eid
+        self.src = src
+        self.dst = dst
+        self.props = props
+
+    def get(self, label: str, default: Any = None) -> Any:
+        return self.props.get(label, default)
+
+    def __repr__(self) -> str:
+        return f"StaticEdge({self.eid!r}: {self.src!r}->{self.dst!r})"
+
+
+class StaticGraph:
+    """A plain directed multi-graph — the substrate for VCM baselines."""
+
+    def __init__(self, time: Optional[int] = None):
+        #: The time-point this snapshot was taken at (``None`` for graphs
+        #: built directly, e.g. transformed graphs).
+        self.time = time
+        self._vertices: dict[VertexId, dict[str, Any]] = {}
+        self._out: dict[VertexId, list[StaticEdge]] = {}
+        self._in: dict[VertexId, list[StaticEdge]] = {}
+        self._num_edges = 0
+
+    def add_vertex(self, vid: VertexId, props: Optional[dict[str, Any]] = None) -> None:
+        if vid not in self._vertices:
+            self._vertices[vid] = props or {}
+            self._out.setdefault(vid, [])
+            self._in.setdefault(vid, [])
+
+    def add_edge(
+        self, src: VertexId, dst: VertexId, eid: Optional[EdgeId] = None,
+        props: Optional[dict[str, Any]] = None,
+    ) -> StaticEdge:
+        if src not in self._vertices or dst not in self._vertices:
+            raise ValueError(f"edge endpoints {src!r}/{dst!r} must be added first")
+        edge = StaticEdge(eid if eid is not None else self._num_edges, src, dst, props or {})
+        self._out[src].append(edge)
+        self._in[dst].append(edge)
+        self._num_edges += 1
+        return edge
+
+    def has_vertex(self, vid: VertexId) -> bool:
+        return vid in self._vertices
+
+    def vertex_ids(self) -> list[VertexId]:
+        return list(self._vertices)
+
+    def vertex_props(self, vid: VertexId) -> dict[str, Any]:
+        return self._vertices[vid]
+
+    def out_edges(self, vid: VertexId) -> list[StaticEdge]:
+        return self._out.get(vid, [])
+
+    def in_edges(self, vid: VertexId) -> list[StaticEdge]:
+        return self._in.get(vid, [])
+
+    def edges(self) -> Iterator[StaticEdge]:
+        for edges in self._out.values():
+            yield from edges
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertices)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def reversed(self) -> "StaticGraph":
+        rev = StaticGraph(self.time)
+        for vid, props in self._vertices.items():
+            rev.add_vertex(vid, props)
+        for edge in self.edges():
+            rev.add_edge(edge.dst, edge.src, edge.eid, edge.props)
+        return rev
+
+    def __repr__(self) -> str:
+        return f"StaticGraph(t={self.time}, |V|={self.num_vertices}, |E|={self.num_edges})"
+
+
+def snapshot_at(graph: TemporalGraph, t: int) -> StaticGraph:
+    """Materialise snapshot ``S_t``: entities alive at time-point ``t``."""
+    snap = StaticGraph(t)
+    for v in graph.vertices():
+        if v.lifespan.contains_point(t):
+            snap.add_vertex(v.vid, v.properties.values_at(t))
+    for e in graph.edges():
+        if e.lifespan.contains_point(t) and snap.has_vertex(e.src) and snap.has_vertex(e.dst):
+            snap.add_edge(e.src, e.dst, e.eid, e.properties.values_at(t))
+    return snap
+
+
+def iter_snapshots(graph: TemporalGraph, horizon: Optional[int] = None) -> Iterator[StaticGraph]:
+    """Yield ``S_0 .. S_{horizon-1}`` (horizon defaults to the graph's)."""
+    if horizon is None:
+        horizon = graph.time_horizon()
+    for t in range(horizon):
+        yield snapshot_at(graph, t)
+
+
+def snapshot_sizes(graph: TemporalGraph, horizon: Optional[int] = None) -> list[tuple[int, int, int]]:
+    """Per-snapshot ``(t, |V|, |E|)`` without keeping snapshots alive."""
+    sizes = []
+    for snap in iter_snapshots(graph, horizon):
+        sizes.append((snap.time, snap.num_vertices, snap.num_edges))
+    return sizes
+
+
+def largest_snapshot(graph: TemporalGraph, horizon: Optional[int] = None) -> StaticGraph:
+    """The snapshot with the most edges (ties: most vertices, earliest)."""
+    best: Optional[StaticGraph] = None
+    for snap in iter_snapshots(graph, horizon):
+        if best is None or (snap.num_edges, snap.num_vertices) > (best.num_edges, best.num_vertices):
+            best = snap
+    if best is None:
+        raise ValueError("graph has no snapshots")
+    return best

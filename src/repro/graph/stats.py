@@ -1,0 +1,152 @@
+"""Dataset statistics in the shape of the paper's Table 1.
+
+For each graph we report the sizes of its four representations — largest
+snapshot, interval graph, transformed graph, cumulative multi-snapshot —
+plus average vertex/edge/property lifespans, and an estimated in-memory
+footprint for Fig. 6(a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.interval import Interval
+from .model import TemporalGraph
+from .snapshots import snapshot_sizes
+from .transform import transformed_size
+
+
+@dataclass
+class DatasetStats:
+    """One row of Table 1."""
+
+    name: str
+    num_snapshots: int
+    largest_snapshot_v: int
+    largest_snapshot_e: int
+    interval_v: int
+    interval_e: int
+    transformed_v: int
+    transformed_e: int
+    multi_snapshot_v: int
+    multi_snapshot_e: int
+    avg_vertex_lifespan: float
+    avg_edge_lifespan: float
+    avg_property_lifespan: float
+
+    def row(self) -> tuple:
+        return (
+            self.name,
+            self.num_snapshots,
+            self.largest_snapshot_v,
+            self.largest_snapshot_e,
+            self.interval_v,
+            self.interval_e,
+            self.transformed_v,
+            self.transformed_e,
+            self.multi_snapshot_v,
+            self.multi_snapshot_e,
+            round(self.avg_vertex_lifespan, 2),
+            round(self.avg_edge_lifespan, 2),
+            round(self.avg_property_lifespan, 2),
+        )
+
+
+def dataset_stats(
+    graph: TemporalGraph,
+    name: str = "graph",
+    *,
+    horizon: Optional[int] = None,
+    travel_time_label: str = "travel-time",
+) -> DatasetStats:
+    """Compute the Table-1 row for ``graph``."""
+    if horizon is None:
+        horizon = graph.time_horizon()
+    clip = Interval(0, horizon)
+
+    sizes = snapshot_sizes(graph, horizon)
+    largest_v, largest_e = 0, 0
+    multi_v, multi_e = 0, 0
+    for _, nv, ne in sizes:
+        multi_v += nv
+        multi_e += ne
+        if (ne, nv) > (largest_e, largest_v):
+            largest_v, largest_e = nv, ne
+
+    t_v, t_e = transformed_size(graph, travel_time_label=travel_time_label, horizon=horizon)
+
+    v_spans = [_clipped_length(v.lifespan, clip) for v in graph.vertices()]
+    e_spans = [_clipped_length(e.lifespan, clip) for e in graph.edges()]
+    p_spans: list[int] = []
+    for e in graph.edges():
+        for label in e.properties:
+            for iv, _ in e.properties.timeline(label):
+                p_spans.append(_clipped_length(iv, clip))
+    for v in graph.vertices():
+        for label in v.properties:
+            for iv, _ in v.properties.timeline(label):
+                p_spans.append(_clipped_length(iv, clip))
+
+    return DatasetStats(
+        name=name,
+        num_snapshots=horizon,
+        largest_snapshot_v=largest_v,
+        largest_snapshot_e=largest_e,
+        interval_v=graph.num_vertices,
+        interval_e=graph.num_edges,
+        transformed_v=t_v,
+        transformed_e=t_e,
+        multi_snapshot_v=multi_v,
+        multi_snapshot_e=multi_e,
+        avg_vertex_lifespan=_avg(v_spans),
+        avg_edge_lifespan=_avg(e_spans),
+        avg_property_lifespan=_avg(p_spans) if p_spans else _avg(e_spans),
+    )
+
+
+def memory_footprint(graph: TemporalGraph, *, horizon: Optional[int] = None) -> dict[str, int]:
+    """Estimated resident bytes of each representation (Fig. 6a).
+
+    A uniform cost model makes representations comparable: 16 bytes per
+    vertex record, 24 per edge record, 16 per interval, 16 per property
+    entry.  Absolute numbers are arbitrary; the *ratios* between interval,
+    transformed, snapshot and batch representations are what Fig. 6(a)
+    reports.
+    """
+    if horizon is None:
+        horizon = graph.time_horizon()
+    per_vertex, per_edge, per_interval, per_prop = 16, 24, 16, 16
+
+    n_props = sum(v.properties.total_entries() for v in graph.vertices()) + sum(
+        e.properties.total_entries() for e in graph.edges()
+    )
+    interval_bytes = (
+        graph.num_vertices * (per_vertex + per_interval)
+        + graph.num_edges * (per_edge + per_interval)
+        + n_props * (per_prop + per_interval)
+    )
+
+    t_v, t_e = transformed_size(graph, horizon=horizon)
+    transformed_bytes = t_v * per_vertex + t_e * per_edge
+
+    sizes = snapshot_sizes(graph, horizon)
+    snap_bytes = [nv * per_vertex + ne * per_edge for _, nv, ne in sizes]
+    largest_snapshot_bytes = max(snap_bytes, default=0)
+    multi_snapshot_bytes = sum(snap_bytes)
+
+    return {
+        "interval": interval_bytes,
+        "transformed": transformed_bytes,
+        "largest_snapshot": largest_snapshot_bytes,
+        "multi_snapshot_total": multi_snapshot_bytes,
+    }
+
+
+def _clipped_length(iv: Interval, clip: Interval) -> int:
+    common = iv.intersect(clip)
+    return common.length if common is not None else 0
+
+
+def _avg(values: list[int]) -> float:
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,169 @@
+"""Timeline-valued analytics over temporal graphs and ICM results.
+
+Glue between the graph substrate, ICM results and the timeline algebra:
+degree/size evolution, property timelines, and queries over the
+partitioned states an :class:`IcmResult` returns.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.core.engine import IcmResult
+from repro.core.interval import FOREVER, Interval
+from repro.graph.model import TemporalGraph
+
+from .timeline import Timeline, aggregate
+
+
+def _clip_end(graph: TemporalGraph, iv: Interval) -> Optional[Interval]:
+    horizon = graph.time_horizon()
+    return iv.intersect(Interval(0, horizon))
+
+
+def degree_timeline(graph: TemporalGraph, vid: Any, *, direction: str = "out") -> Timeline:
+    """Piecewise-constant out-/in-degree of a vertex over its lifespan."""
+    if direction == "out":
+        edges = graph.out_edges(vid)
+    elif direction == "in":
+        edges = graph.in_edges(vid)
+    else:
+        raise ValueError("direction must be 'out' or 'in'")
+    lifespan = graph.vertex(vid).lifespan
+    bounds = {lifespan.start, lifespan.end}
+    for e in edges:
+        bounds.add(max(e.lifespan.start, lifespan.start))
+        bounds.add(min(e.lifespan.end, lifespan.end))
+    cuts = sorted(b for b in bounds if lifespan.start <= b <= lifespan.end)
+    entries = []
+    for lo, hi in zip(cuts, cuts[1:]):
+        degree = sum(1 for e in edges if e.lifespan.contains_point(lo))
+        entries.append((Interval(lo, hi), degree))
+    return Timeline(entries).coalesced()
+
+
+def vertex_count_timeline(graph: TemporalGraph) -> Timeline:
+    """Number of alive vertices over time."""
+    from repro.algorithms.ti.pagerank import vertex_count_timeline as _vct
+
+    return Timeline(_vct(graph)).coalesced()
+
+
+def edge_count_timeline(graph: TemporalGraph) -> Timeline:
+    """Number of alive edges over time (boundaries at every edge event)."""
+    deltas: dict[int, int] = {}
+    for e in graph.edges():
+        deltas[e.lifespan.start] = deltas.get(e.lifespan.start, 0) + 1
+        if not e.lifespan.is_unbounded:
+            deltas[e.lifespan.end] = deltas.get(e.lifespan.end, 0) - 1
+    bounds = sorted(deltas)
+    entries = []
+    count = 0
+    for idx, b in enumerate(bounds):
+        count += deltas[b]
+        end = bounds[idx + 1] if idx + 1 < len(bounds) else FOREVER
+        if b < end:
+            entries.append((Interval(b, end), count))
+    return Timeline(entries).coalesced()
+
+
+def property_timeline(graph: TemporalGraph, eid: Any, label: str) -> Timeline:
+    """An edge property's value over time as a timeline."""
+    timeline = graph.edge(eid).properties.timeline(label)
+    return Timeline(timeline.entries() if timeline else [])
+
+
+def state_timeline(result: IcmResult, vid: Any) -> Timeline:
+    """A vertex's final ICM state as a timeline."""
+    return Timeline.from_state(result.states[vid]).coalesced()
+
+
+def top_k_at(result: IcmResult, t: int, k: int, *, key: Callable[[Any], Any] = None,
+             reverse: bool = True) -> list[tuple[Any, Any]]:
+    """The k vertices with the largest (or smallest) state value at ``t``."""
+    scored = []
+    for vid, state in result.states.items():
+        if state.lifespan.contains_point(t):
+            value = state.value_at(t)
+            scored.append((vid, value))
+    sort_key = (lambda pair: key(pair[1])) if key else (lambda pair: pair[1])
+    scored.sort(key=sort_key, reverse=reverse)
+    return scored[:k]
+
+
+def when_stable(result: IcmResult, vid: Any) -> list[Interval]:
+    """Maximal intervals over which the vertex's final value is constant
+    (the coalesced partitions — how long each answer remains valid)."""
+    return [iv for iv, _ in state_timeline(result, vid)]
+
+
+def durable_top_k(
+    timelines: dict[Any, Timeline],
+    k: int,
+    *,
+    reverse: bool = True,
+) -> list[tuple[Any, int, list[Interval]]]:
+    """Durable top-k (after Gao et al., PVLDB 2018): rank entities by how
+    *long* they stay in the top-k of a time-varying score.
+
+    Parameters
+    ----------
+    timelines:
+        Entity id → score timeline (gaps mean "absent", never ranked).
+    k:
+        Rank cut-off per instant.
+    reverse:
+        True ranks by largest score (default); False by smallest.
+
+    Returns
+    -------
+    ``(entity, duration, intervals)`` triples sorted by total time spent
+    in the top-k (descending, ties by id); ``intervals`` is the coalesced
+    set of periods the entity ranked.
+    """
+    from repro.core.interval import coalesce as coalesce_intervals
+
+    bounds: set[int] = set()
+    for tl in timelines.values():
+        for iv, _ in tl:
+            bounds.add(iv.start)
+            bounds.add(iv.end)
+    ordered = sorted(bounds)
+    membership: dict[Any, list[Interval]] = {vid: [] for vid in timelines}
+    for lo, hi in zip(ordered, ordered[1:]):
+        present = [
+            (vid, tl.value_at(lo))
+            for vid, tl in timelines.items()
+            if tl.value_at(lo, default=_MISSING_SCORE) is not _MISSING_SCORE
+        ]
+        present.sort(key=lambda item: (item[1], repr(item[0])), reverse=reverse)
+        if reverse:
+            # reverse=True flips the id tiebreak too; re-sort ties by id.
+            present.sort(key=lambda item: repr(item[0]))
+            present.sort(key=lambda item: item[1], reverse=True)
+        for vid, _ in present[:k]:
+            membership[vid].append(Interval(lo, hi))
+    out = []
+    for vid, intervals in membership.items():
+        if not intervals:
+            continue
+        merged = coalesce_intervals(intervals)
+        duration = sum(iv.length for iv in merged)
+        out.append((vid, duration, merged))
+    out.sort(key=lambda item: (-item[1], repr(item[0])))
+    return out
+
+
+_MISSING_SCORE = object()
+
+
+def total_over_time(
+    result: IcmResult, fn: Callable[[list[Any]], Any]
+) -> Timeline:
+    """Aggregate every vertex's state pointwise over time.
+
+    E.g. ``total_over_time(pr_result, sum)`` gives the total PageRank mass
+    per interval; with ``fn=len`` it counts alive vertices.
+    """
+    timelines = [Timeline.from_state(state) for state in result.states.values()]
+    return aggregate(timelines, fn)

@@ -1,0 +1,145 @@
+"""Time-respecting journey enumeration (path queries, after Wu et al.).
+
+The ICM algorithms answer *optimal* journey questions (cheapest, earliest,
+fastest); analysts also ask *enumeration* questions — "show me every way
+to get from A to E before t=10 in at most 4 legs".  This module provides a
+bounded DFS enumerator over the interval graph with temporal pruning.
+
+A journey is a sequence of legs ``(edge, departure)`` with
+``departure_i ∈ edge_i.lifespan``, ``arrival_i = departure_i + travel_time``
+and ``departure_{i+1} >= arrival_i`` (waiting is free).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+from repro.core.interval import Interval
+from repro.graph.model import TemporalEdge, TemporalGraph
+
+
+@dataclass(frozen=True)
+class JourneyLeg:
+    """One leg: traverse ``edge`` departing at ``departure``."""
+
+    edge: TemporalEdge
+    departure: int
+    arrival: int
+    cost: int
+
+    def __str__(self) -> str:
+        return (f"{self.edge.src} --dep {self.departure}--> "
+                f"{self.edge.dst} (arr {self.arrival}, cost {self.cost})")
+
+
+@dataclass(frozen=True)
+class Journey:
+    """A complete time-respecting journey."""
+
+    legs: tuple[JourneyLeg, ...]
+
+    @property
+    def source(self) -> Any:
+        return self.legs[0].edge.src
+
+    @property
+    def destination(self) -> Any:
+        return self.legs[-1].edge.dst
+
+    @property
+    def departure(self) -> int:
+        return self.legs[0].departure
+
+    @property
+    def arrival(self) -> int:
+        return self.legs[-1].arrival
+
+    @property
+    def duration(self) -> int:
+        return self.arrival - self.departure
+
+    @property
+    def cost(self) -> int:
+        return sum(leg.cost for leg in self.legs)
+
+    def __str__(self) -> str:
+        return " ; ".join(str(leg) for leg in self.legs)
+
+
+def iter_journeys(
+    graph: TemporalGraph,
+    source: Any,
+    target: Any,
+    *,
+    window: Optional[Interval] = None,
+    max_legs: int = 4,
+    max_results: int = 1000,
+    cost_label: str = "travel-cost",
+    time_label: str = "travel-time",
+    allow_revisits: bool = False,
+) -> Iterator[Journey]:
+    """Enumerate time-respecting journeys source → target.
+
+    Parameters
+    ----------
+    window:
+        Departures and arrivals must fall inside it (defaults to
+        ``[0, time_horizon)``).
+    max_legs:
+        Hop bound — enumeration is exponential without one.
+    max_results:
+        Hard cap on yielded journeys (a safety valve, not a ranking).
+    allow_revisits:
+        Permit returning to an already-visited vertex (time still has to
+        advance, so enumeration terminates either way).
+
+    Departures are enumerated per edge *piece* boundary and per earliest
+    feasible time — i.e. for each property regime of each edge, the first
+    possible departure is taken; later departures within the same regime
+    are dominated for arrival/cost purposes but can be obtained by
+    shrinking ``window``.
+    """
+    if window is None:
+        window = Interval(0, graph.time_horizon())
+    yielded = 0
+
+    def expand(vertex: Any, ready: int, visited: frozenset, legs: tuple):
+        nonlocal yielded
+        if yielded >= max_results or len(legs) >= max_legs:
+            return
+        for edge in graph.out_edges(vertex):
+            if not allow_revisits and edge.dst in visited:
+                continue
+            usable = edge.lifespan.intersect(window)
+            if usable is None:
+                continue
+            for piece_iv, piece in edge.pieces(usable):
+                departure = max(piece_iv.start, ready)
+                if departure >= piece_iv.end:
+                    continue
+                travel_time = piece.get(time_label, 1)
+                arrival = departure + travel_time
+                if arrival >= window.end:
+                    continue
+                leg = JourneyLeg(edge, departure, arrival, piece.get(cost_label, 1))
+                new_legs = (*legs, leg)
+                if edge.dst == target:
+                    if yielded < max_results:
+                        yielded += 1
+                        yield Journey(new_legs)
+                    if yielded >= max_results:
+                        return
+                yield from expand(
+                    edge.dst, arrival, visited | {edge.dst}, new_legs
+                )
+
+    start = max(window.start, graph.vertex(source).lifespan.start)
+    yield from expand(source, start, frozenset([source]), ())
+
+
+def find_journeys(graph: TemporalGraph, source: Any, target: Any, **kwargs) -> list[Journey]:
+    """Materialised :func:`iter_journeys`, sorted by (arrival, cost)."""
+    journeys = list(iter_journeys(graph, source, target, **kwargs))
+    journeys.sort(key=lambda j: (j.arrival, j.cost, len(j.legs)))
+    return journeys

@@ -1,0 +1,172 @@
+"""Timelines: interval-valued time series and their algebra.
+
+The paper's future work calls for "query capabilities over temporal
+property graphs"; the natural value type of such queries is a *timeline* —
+a sorted sequence of non-overlapping ``(interval, value)`` pairs, possibly
+with gaps (unlike :class:`~repro.core.state.PartitionedState`, which must
+cover a lifespan).  Timelines support the temporal-relational operations
+of Moffitt & Stoyanovich's temporal graph algebra: selection, mapping,
+temporal join, and n-ary alignment/aggregation via a boundary sweep.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
+
+from repro.core.interval import Interval
+from repro.core.state import PartitionedState
+
+
+class Timeline:
+    """A sorted, non-overlapping, possibly gappy interval-value series."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: Iterable[tuple[Interval, Any]] = ()):
+        ordered = sorted(entries, key=lambda e: (e[0].start, e[0].end))
+        for (a, _), (b, _) in zip(ordered, ordered[1:]):
+            if a.overlaps(b):
+                raise ValueError(f"timeline entries overlap: {a} and {b}")
+        self._entries: list[tuple[Interval, Any]] = ordered
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def constant(cls, interval: Interval, value: Any) -> "Timeline":
+        return cls([(interval, value)])
+
+    @classmethod
+    def from_state(cls, state: PartitionedState) -> "Timeline":
+        """View a vertex's final partitioned state as a timeline."""
+        return cls(state.partitions())
+
+    # -- access --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[tuple[Interval, Any]]:
+        return iter(self._entries)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Timeline) and self._entries == other._entries
+
+    def entries(self) -> list[tuple[Interval, Any]]:
+        """All ``(interval, value)`` entries in time order."""
+        return list(self._entries)
+
+    def value_at(self, t: int, default: Any = None) -> Any:
+        """The value at time-point ``t``, or ``default`` in a gap."""
+        idx = bisect_right([iv.start for iv, _ in self._entries], t) - 1
+        if idx >= 0 and self._entries[idx][0].contains_point(t):
+            return self._entries[idx][1]
+        return default
+
+    def span(self) -> Optional[Interval]:
+        """Hull from first start to last end, or ``None`` when empty."""
+        if not self._entries:
+            return None
+        return Interval(self._entries[0][0].start, self._entries[-1][0].end)
+
+    def is_covering(self) -> bool:
+        """True when the entries are contiguous (no interior gaps)."""
+        return all(
+            a.end == b.start
+            for (a, _), (b, _) in zip(self._entries, self._entries[1:])
+        )
+
+    # -- unary operators ---------------------------------------------------
+
+    def map(self, fn: Callable[[Any], Any]) -> "Timeline":
+        """Apply ``fn`` to every value (temporal projection)."""
+        return Timeline((iv, fn(v)) for iv, v in self._entries)
+
+    def filter(self, predicate: Callable[[Any], bool]) -> "Timeline":
+        """Keep entries whose value satisfies ``predicate`` (selection)."""
+        return Timeline((iv, v) for iv, v in self._entries if predicate(v))
+
+    def when(self, predicate: Callable[[Any], bool]) -> list[Interval]:
+        """Coalesced intervals during which the predicate holds."""
+        from repro.core.interval import coalesce
+
+        return coalesce(iv for iv, v in self._entries if predicate(v))
+
+    def clip(self, window: Interval) -> "Timeline":
+        """Restrict to ``window`` (temporal slice)."""
+        out = []
+        for iv, v in self._entries:
+            common = iv.intersect(window)
+            if common is not None:
+                out.append((common, v))
+        return Timeline(out)
+
+    def coalesced(self) -> "Timeline":
+        """Merge adjacent entries with equal values (temporal coalescing)."""
+        if not self._entries:
+            return self
+        out = [self._entries[0]]
+        for iv, v in self._entries[1:]:
+            last_iv, last_v = out[-1]
+            if last_iv.end == iv.start and last_v == v:
+                out[-1] = (Interval(last_iv.start, iv.end), v)
+            else:
+                out.append((iv, v))
+        return Timeline(out)
+
+    # -- binary / n-ary operators ----------------------------------------------
+
+    def join(self, other: "Timeline", fn: Callable[[Any, Any], Any]) -> "Timeline":
+        """Temporal inner join: ``fn(a, b)`` over every overlap."""
+        from repro.core.warp import time_join
+
+        return Timeline(
+            (iv, fn(a, b))
+            for iv, a, b in time_join(self._entries, other.entries())
+        ).coalesced()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{iv}={v!r}" for iv, v in self._entries)
+        return f"Timeline({inner})"
+
+
+def align(timelines: Sequence[Timeline]) -> list[tuple[Interval, list[Any]]]:
+    """Boundary-sweep alignment of many timelines.
+
+    Returns elementary intervals (between consecutive boundaries of any
+    input) with the list of values present during each; intervals where no
+    timeline has a value are omitted.
+    """
+    bounds: set[int] = set()
+    for tl in timelines:
+        for iv, _ in tl:
+            bounds.add(iv.start)
+            bounds.add(iv.end)
+    ordered = sorted(bounds)
+    out: list[tuple[Interval, list[Any]]] = []
+    for lo, hi in zip(ordered, ordered[1:]):
+        present = []
+        for tl in timelines:
+            value = tl.value_at(lo, default=_MISSING)
+            if value is not _MISSING:
+                present.append(value)
+        if present:
+            out.append((Interval(lo, hi), present))
+    return out
+
+
+_MISSING = object()
+
+
+def aggregate(
+    timelines: Sequence[Timeline],
+    fn: Callable[[Sequence[Any]], Any],
+) -> Timeline:
+    """Temporal group-by-time aggregation: ``fn`` over co-existing values.
+
+    E.g. ``aggregate(degree_timelines, sum)`` yields the total degree over
+    time, with boundaries wherever any input changes.
+    """
+    return Timeline(
+        (iv, fn(values)) for iv, values in align(timelines)
+    ).coalesced()

@@ -1,0 +1,42 @@
+"""Simulated distributed runtime: partitioning, transport, metrics."""
+
+from .cluster import SimulatedCluster
+from .encoding import (
+    decode_interval,
+    decode_message,
+    decode_payload,
+    decode_varint,
+    encode_interval,
+    encode_message,
+    encode_payload,
+    encode_varint,
+    encoded_message_size,
+    interval_size,
+    payload_size,
+    varint_size,
+)
+from .metrics import ComputeModel, NetworkModel, RunMetrics, SuperstepMetrics
+from .partitioner import GreedyEdgeCutPartitioner, HashPartitioner, RangePartitioner
+
+__all__ = [
+    "SimulatedCluster",
+    "NetworkModel",
+    "ComputeModel",
+    "RunMetrics",
+    "SuperstepMetrics",
+    "HashPartitioner",
+    "RangePartitioner",
+    "GreedyEdgeCutPartitioner",
+    "encode_varint",
+    "decode_varint",
+    "varint_size",
+    "encode_interval",
+    "decode_interval",
+    "interval_size",
+    "encode_payload",
+    "decode_payload",
+    "payload_size",
+    "encode_message",
+    "decode_message",
+    "encoded_message_size",
+]

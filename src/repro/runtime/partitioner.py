@@ -1,0 +1,110 @@
+"""Vertex partitioners for the simulated cluster.
+
+Giraph assigns vertices to workers with a hash partitioner (paper
+Sec. VII-A4); a contiguous range partitioner is provided for the locality
+ablation (the paper observes 70% of TGB's messages landing on half the
+partitions under hashing).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Iterable
+
+
+class HashPartitioner:
+    """Deterministic hash partitioning of opaque vertex ids.
+
+    Python's builtin ``hash`` is salted per process for strings, so we hash
+    the id's string form with CRC32 — stable across runs and processes,
+    which keeps benchmarks reproducible.
+    """
+
+    def __init__(self, num_workers: int):
+        if num_workers < 1:
+            raise ValueError("need at least one worker")
+        self.num_workers = num_workers
+
+    def worker_of(self, vid: Any) -> int:
+        return zlib.crc32(repr(vid).encode("utf-8")) % self.num_workers
+
+    def __repr__(self) -> str:
+        return f"HashPartitioner({self.num_workers})"
+
+
+class GreedyEdgeCutPartitioner:
+    """Streaming greedy partitioning (LDG-style) of a temporal graph.
+
+    The paper's future work includes "explor[ing] … partitioning
+    strategies".  This partitioner streams vertices in order and places
+    each on the worker holding most of its already-placed neighbours,
+    damped by a capacity penalty (Stanton & Kliot's linear deterministic
+    greedy), which cuts remote-message traffic versus hashing on graphs
+    with locality.
+    """
+
+    def __init__(self, num_workers: int, graph, *, capacity_slack: float = 1.1):
+        if num_workers < 1:
+            raise ValueError("need at least one worker")
+        self.num_workers = num_workers
+        vids = sorted(graph.vertex_ids(), key=repr)
+        capacity = max(1.0, capacity_slack * len(vids) / num_workers)
+        neighbours: dict[Any, set[Any]] = {vid: set() for vid in vids}
+        for e in graph.edges():
+            neighbours[e.src].add(e.dst)
+            neighbours[e.dst].add(e.src)
+        self._assignment: dict[Any, int] = {}
+        loads = [0] * num_workers
+        for vid in vids:
+            best_worker, best_score = 0, float("-inf")
+            for w in range(num_workers):
+                placed = sum(
+                    1 for nbr in neighbours[vid] if self._assignment.get(nbr) == w
+                )
+                score = placed * (1.0 - loads[w] / capacity)
+                if score > best_score:
+                    best_worker, best_score = w, score
+            self._assignment[vid] = best_worker
+            loads[best_worker] += 1
+
+    def worker_of(self, vid: Any) -> int:
+        try:
+            return self._assignment[vid]
+        except KeyError:
+            raise KeyError(f"vertex {vid!r} not in partitioned graph") from None
+
+    def edge_cut(self, graph) -> float:
+        """Fraction of edges whose endpoints land on different workers."""
+        total = cut = 0
+        for e in graph.edges():
+            total += 1
+            if self.worker_of(e.src) != self.worker_of(e.dst):
+                cut += 1
+        return cut / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return f"GreedyEdgeCutPartitioner({self.num_workers}, |V|={len(self._assignment)})"
+
+
+class RangePartitioner:
+    """Contiguous ranges over a known, sorted vertex universe."""
+
+    def __init__(self, num_workers: int, vertex_ids: Iterable[Any]):
+        if num_workers < 1:
+            raise ValueError("need at least one worker")
+        self.num_workers = num_workers
+        ordered = sorted(vertex_ids, key=repr)
+        self._assignment: dict[Any, int] = {}
+        if ordered:
+            per_worker = max(1, (len(ordered) + num_workers - 1) // num_workers)
+            for idx, vid in enumerate(ordered):
+                self._assignment[vid] = min(idx // per_worker, num_workers - 1)
+
+    def worker_of(self, vid: Any) -> int:
+        try:
+            return self._assignment[vid]
+        except KeyError:
+            raise KeyError(f"vertex {vid!r} not in partitioned universe") from None
+
+    def __repr__(self) -> str:
+        return f"RangePartitioner({self.num_workers}, |V|={len(self._assignment)})"

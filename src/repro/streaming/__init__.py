@@ -1,0 +1,5 @@
+"""Streaming extension: incremental ICM over append-only temporal graphs."""
+
+from .engine import StreamingIntervalEngine
+
+__all__ = ["StreamingIntervalEngine"]

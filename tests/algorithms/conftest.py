@@ -1,0 +1,44 @@
+"""Shared fixtures: small deterministic random temporal graphs."""
+
+import random
+
+import pytest
+
+from repro.graph.builder import TemporalGraphBuilder
+
+HORIZON = 8
+
+
+def random_temporal_graph(seed: int, n_vertices: int = 10, n_edges: int = 28,
+                          horizon: int = HORIZON):
+    """A small random temporal graph with TD edge properties."""
+    rng = random.Random(seed)
+    b = TemporalGraphBuilder()
+    for i in range(n_vertices):
+        b.add_vertex(f"v{i}", 0, horizon)
+    for _ in range(n_edges):
+        src = rng.randrange(n_vertices)
+        dst = rng.randrange(n_vertices)
+        if dst == src:
+            dst = (dst + 1) % n_vertices
+        start = rng.randrange(horizon)
+        end = rng.randint(start + 1, horizon)
+        # One or two property regimes within the lifespan.
+        if end - start >= 3 and rng.random() < 0.5:
+            mid = rng.randint(start + 1, end - 1)
+            cost_spec = [(start, mid, rng.randint(1, 5)), (mid, end, rng.randint(1, 5))]
+        else:
+            cost_spec = [(start, end, rng.randint(1, 5))]
+        b.add_edge(f"v{src}", f"v{dst}", start, end,
+                   props={"travel-cost": cost_spec, "travel-time": 1})
+    return b.build()
+
+
+@pytest.fixture(params=[1, 2, 3, 4, 5])
+def graph(request):
+    return random_temporal_graph(seed=request.param)
+
+
+@pytest.fixture
+def horizon():
+    return HORIZON

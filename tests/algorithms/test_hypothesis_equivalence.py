@@ -1,0 +1,103 @@
+"""Property-based equivalence: ICM vs brute-force references on random
+temporal graphs (stronger than the fixed-seed suites)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.reference import (
+    INF,
+    snapshot_bfs,
+    snapshot_wcc,
+    temporal_eat,
+    temporal_reach_grid,
+    temporal_sssp_grid,
+)
+from repro.algorithms.td.eat import TemporalEAT, earliest_arrival
+from repro.algorithms.td.reach import TemporalReachability
+from repro.algorithms.td.sssp import TemporalSSSP
+from repro.algorithms.ti.bfs import TemporalBFS
+from repro.algorithms.ti.wcc import TemporalWCC, make_undirected
+from repro.core.engine import IntervalCentricEngine
+from repro.graph.builder import TemporalGraphBuilder
+from repro.graph.snapshots import snapshot_at
+
+HORIZON = 8
+
+
+@st.composite
+def temporal_graph(draw):
+    n = draw(st.integers(min_value=2, max_value=7))
+    b = TemporalGraphBuilder()
+    for i in range(n):
+        b.add_vertex(f"v{i}", 0, HORIZON)
+    for _ in range(draw(st.integers(min_value=1, max_value=16))):
+        src = draw(st.integers(min_value=0, max_value=n - 1))
+        dst = draw(st.integers(min_value=0, max_value=n - 1))
+        if dst == src:
+            dst = (dst + 1) % n
+        start = draw(st.integers(min_value=0, max_value=HORIZON - 1))
+        end = draw(st.integers(min_value=start + 1, max_value=HORIZON))
+        cost = draw(st.integers(min_value=1, max_value=4))
+        # Occasionally split the cost regime mid-lifespan.
+        if end - start >= 2 and draw(st.booleans()):
+            mid = draw(st.integers(min_value=start + 1, max_value=end - 1))
+            cost_spec = [(start, mid, cost), (mid, end, draw(st.integers(min_value=1, max_value=4)))]
+        else:
+            cost_spec = [(start, end, cost)]
+        b.add_edge(f"v{src}", f"v{dst}", start, end,
+                   props={"travel-cost": cost_spec, "travel-time": 1})
+    return b.build()
+
+
+@given(temporal_graph())
+@settings(max_examples=80, deadline=None)
+def test_sssp_matches_grid(graph):
+    result = IntervalCentricEngine(graph, TemporalSSSP("v0")).run()
+    grid = temporal_sssp_grid(graph, "v0", horizon=HORIZON)
+    for vid, row in grid.items():
+        for t in range(HORIZON):
+            assert result.value_at(vid, t) == row[t], (vid, t)
+
+
+@given(temporal_graph())
+@settings(max_examples=80, deadline=None)
+def test_eat_matches_reference(graph):
+    result = IntervalCentricEngine(graph, TemporalEAT("v0")).run()
+    expected = temporal_eat(graph, "v0", horizon=HORIZON)
+    for vid, arrival in expected.items():
+        got = earliest_arrival(result.states[vid])
+        if arrival is None:
+            assert got is None or got >= HORIZON, vid
+        else:
+            assert got == arrival, vid
+
+
+@given(temporal_graph())
+@settings(max_examples=80, deadline=None)
+def test_reachability_matches_grid_pointwise(graph):
+    result = IntervalCentricEngine(graph, TemporalReachability("v0")).run()
+    grid = temporal_reach_grid(graph, "v0", horizon=HORIZON)
+    for vid, row in grid.items():
+        for t in range(HORIZON):
+            assert bool(result.value_at(vid, t)) == row[t], (vid, t)
+
+
+@given(temporal_graph())
+@settings(max_examples=60, deadline=None)
+def test_bfs_matches_per_snapshot(graph):
+    result = IntervalCentricEngine(graph, TemporalBFS("v0")).run()
+    for t in range(HORIZON):
+        expected = snapshot_bfs(snapshot_at(graph, t), "v0")
+        for vid, dist in expected.items():
+            assert result.value_at(vid, t) == dist, (vid, t)
+
+
+@given(temporal_graph())
+@settings(max_examples=60, deadline=None)
+def test_wcc_matches_per_snapshot(graph):
+    undirected = make_undirected(graph)
+    result = IntervalCentricEngine(undirected, TemporalWCC()).run()
+    for t in range(HORIZON):
+        expected = snapshot_wcc(snapshot_at(graph, t))
+        for vid, label in expected.items():
+            assert result.value_at(vid, t) == label, (vid, t)

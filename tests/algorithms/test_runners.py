@@ -1,0 +1,86 @@
+"""Unit tests for the (algorithm × platform) runner layer."""
+
+import pytest
+
+from repro.algorithms.runners import (
+    ALL_ALGORITHMS,
+    TD_ALGORITHMS,
+    TI_ALGORITHMS,
+    default_source,
+    default_target,
+    platforms_for,
+    run_algorithm,
+)
+from repro.datasets import transit_graph
+from repro.graph.builder import TemporalGraphBuilder
+
+
+class TestDefaults:
+    def test_default_source_is_max_out_degree(self):
+        g = transit_graph()
+        assert default_source(g) == "A"  # 3 out-edges
+
+    def test_default_target_is_max_in_degree(self):
+        g = transit_graph()
+        # C and E both have 2 in-edges; ties break towards the larger id.
+        assert default_target(g) == "E"
+
+    def test_deterministic_on_ties(self):
+        b = TemporalGraphBuilder()
+        b.add_vertices(["x", "y", "z"])
+        g = b.build()
+        assert default_source(g) == default_source(g) == "z"
+
+
+class TestMatrixShape:
+    def test_algorithm_lists_cover_paper(self):
+        assert set(TI_ALGORITHMS) == {"BFS", "WCC", "SCC", "PR"}
+        assert set(TD_ALGORITHMS) == {
+            "SSSP", "EAT", "FAST", "LD", "TMST", "RH", "LCC", "TC"}
+        assert len(ALL_ALGORITHMS) == 12
+
+    def test_platforms_for(self):
+        assert platforms_for("PR") == ("GRAPHITE", "MSB", "Chlonos")
+        assert platforms_for("LCC") == ("GRAPHITE", "TGB", "GoFFish")
+
+
+class TestParameterPlumbing:
+    def test_explicit_source_used(self):
+        g = transit_graph()
+        outcome = run_algorithm("SSSP", "GRAPHITE", g, source="B")
+        # From B only C and E are reachable.
+        from repro.algorithms.td.sssp import INFINITY
+
+        assert outcome.result.value_at("E", 9) < INFINITY
+        assert outcome.result.value_at("D", 9) >= INFINITY
+
+    def test_icm_options_forwarded(self):
+        g = transit_graph()
+        baseline = run_algorithm("SSSP", "GRAPHITE", g)
+        no_combiner = run_algorithm(
+            "SSSP", "GRAPHITE", g,
+            icm_options={"enable_warp_combiner": False,
+                         "enable_receiver_combiner": False},
+        )
+        assert no_combiner.metrics.combiner_reductions == 0
+        assert baseline.metrics.combiner_reductions >= 0
+        for vid in "ABCDEF":
+            assert (baseline.result.value_at(vid, 9)
+                    == no_combiner.result.value_at(vid, 9))
+
+    def test_deadline_for_ld(self):
+        g = transit_graph()
+        tight = run_algorithm("LD", "GRAPHITE", g, target="E", deadline=6)
+        loose = run_algorithm("LD", "GRAPHITE", g, target="E", deadline=10)
+        from repro.algorithms.td.ld import latest_departure
+
+        # With deadline 6 only the A→C→E corridor works (depart A by 1).
+        assert latest_departure(tight.result.states["A"]) == 1
+        assert latest_departure(loose.result.states["A"]) == 5
+
+    def test_metrics_labelled(self):
+        g = transit_graph()
+        outcome = run_algorithm("RH", "TGB", g, graph_name="transit")
+        assert outcome.metrics.platform == "TGB"
+        assert outcome.metrics.graph == "transit"
+        assert outcome.algorithm == "RH"

@@ -1,0 +1,121 @@
+"""Failure-injection tests: misbehaving user logic must fail loudly,
+with execution context, and never corrupt silently."""
+
+import pytest
+
+from repro.core.engine import IcmProgramError, IntervalCentricEngine
+from repro.core.interval import FOREVER, Interval
+from repro.core.program import IntervalProgram
+from repro.graph.builder import TemporalGraphBuilder
+
+
+def tiny_graph():
+    b = TemporalGraphBuilder()
+    b.add_vertices(["a", "b"], 0, 10)
+    b.add_edge("a", "b", 0, 10, eid="ab")
+    return b.build()
+
+
+class Base(IntervalProgram):
+    name = "faulty"
+
+    def init(self, ctx):
+        ctx.set_state(ctx.lifespan, 0)
+
+    def compute(self, ctx, interval, state, messages):
+        if ctx.superstep == 1 and ctx.vertex_id == "a":
+            ctx.set_state(interval, 1)
+
+    def scatter(self, ctx, edge, interval, state):
+        return [(interval, state)]
+
+
+class TestComputeFailures:
+    def test_exception_carries_vertex_and_superstep(self):
+        class Boom(Base):
+            def compute(self, ctx, interval, state, messages):
+                if ctx.superstep == 2:
+                    raise ZeroDivisionError("kaboom")
+                super().compute(ctx, interval, state, messages)
+
+        with pytest.raises(IcmProgramError) as err:
+            IntervalCentricEngine(tiny_graph(), Boom()).run()
+        assert err.value.vertex == "b"
+        assert err.value.superstep == 2
+        assert err.value.phase == "compute"
+        assert isinstance(err.value.original, ZeroDivisionError)
+        assert "kaboom" in str(err.value)
+
+    def test_no_double_wrapping(self):
+        class Boom(Base):
+            def compute(self, ctx, interval, state, messages):
+                raise ValueError("inner")
+
+        with pytest.raises(IcmProgramError) as err:
+            IntervalCentricEngine(tiny_graph(), Boom()).run()
+        assert not isinstance(err.value.original, IcmProgramError)
+
+
+class TestScatterFailures:
+    def test_scatter_exception_wrapped(self):
+        class Boom(Base):
+            def scatter(self, ctx, edge, interval, state):
+                raise RuntimeError("bad scatter")
+
+        with pytest.raises(IcmProgramError) as err:
+            IntervalCentricEngine(tiny_graph(), Boom()).run()
+        assert err.value.phase == "scatter"
+        assert err.value.vertex == "a"
+
+    def test_invalid_message_interval_is_wrapped_user_error(self):
+        class Boom(Base):
+            def scatter(self, ctx, edge, interval, state):
+                return [(Interval(5, 5), state)]  # empty interval
+
+        with pytest.raises(IcmProgramError, match="empty interval"):
+            IntervalCentricEngine(tiny_graph(), Boom()).run()
+
+    def test_malformed_scatter_return(self):
+        class Boom(Base):
+            def scatter(self, ctx, edge, interval, state):
+                return [42]  # neither message nor (interval, value)
+
+        with pytest.raises(TypeError):
+            IntervalCentricEngine(tiny_graph(), Boom()).run()
+
+
+class TestMessagingEdgeCases:
+    def test_direct_send_to_unknown_vertex_is_dropped(self):
+        """Messages to ids outside the graph are silently discarded at the
+        barrier (matching Giraph's resolve-to-nothing default)."""
+
+        class Ghost(Base):
+            def compute(self, ctx, interval, state, messages):
+                if ctx.superstep == 1 and ctx.vertex_id == "a":
+                    ctx.send("phantom", Interval(0, 5), 1)
+                    ctx.set_state(interval, 1)
+
+        result = IntervalCentricEngine(tiny_graph(), Ghost()).run()
+        assert result.metrics.supersteps >= 2  # engine didn't crash
+
+    def test_message_outside_lifespan_never_computes(self):
+        """A message entirely outside the destination's lifespan activates
+        the vertex but warp yields no triples — no compute, no corruption."""
+        b = TemporalGraphBuilder()
+        b.add_vertex("a", 0, 10)
+        b.add_vertex("late", 0, 3)
+        b.add_edge("a", "late", 0, 3, eid="al")
+        g = b.build()
+
+        calls = []
+
+        class Probe(Base):
+            def compute(self, ctx, interval, state, messages):
+                calls.append((ctx.superstep, ctx.vertex_id, interval))
+                super().compute(ctx, interval, state, messages)
+
+            def scatter(self, ctx, edge, interval, state):
+                return [(Interval(5, FOREVER), state)]  # beyond late's life
+
+        IntervalCentricEngine(g, Probe()).run()
+        assert all(not (s > 1 and v == "late") for s, v, _ in calls)

@@ -1,0 +1,160 @@
+"""Unit tests for the Interval type and Allen's relations."""
+
+import pytest
+
+from repro.core.interval import FOREVER, Interval, coalesce, format_time, total_span
+
+
+class TestConstruction:
+    def test_basic(self):
+        iv = Interval(2, 5)
+        assert iv.start == 2 and iv.end == 5
+
+    def test_default_end_is_forever(self):
+        assert Interval(3).end == FOREVER
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(5, 5)
+        with pytest.raises(ValueError):
+            Interval(5, 3)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(-1, 4)
+
+    def test_point_constructor(self):
+        p = Interval.point(7)
+        assert p == Interval(7, 8)
+        assert p.is_unit
+
+    def test_always(self):
+        assert Interval.always() == Interval(0, FOREVER)
+
+    def test_immutable(self):
+        iv = Interval(1, 2)
+        with pytest.raises(AttributeError):
+            iv.start = 5
+
+
+class TestQueries:
+    def test_length(self):
+        assert Interval(2, 7).length == 5
+        assert Interval(2).length == FOREVER
+
+    def test_is_unit(self):
+        assert Interval(4, 5).is_unit
+        assert not Interval(4, 6).is_unit
+
+    def test_is_unbounded(self):
+        assert Interval(4).is_unbounded
+        assert not Interval(4, 10).is_unbounded
+
+    def test_contains_point_half_open(self):
+        iv = Interval(3, 6)
+        assert not iv.contains_point(2)
+        assert iv.contains_point(3)
+        assert iv.contains_point(5)
+        assert not iv.contains_point(6)
+
+    def test_in_operator(self):
+        assert 4 in Interval(3, 6)
+        assert 6 not in Interval(3, 6)
+
+    def test_points(self):
+        assert list(Interval(3, 6).points()) == [3, 4, 5]
+
+    def test_points_unbounded_raises(self):
+        with pytest.raises(ValueError):
+            list(Interval(3).points())
+
+
+class TestAllenRelations:
+    def test_overlaps(self):
+        assert Interval(1, 5).overlaps(Interval(4, 8))
+        assert Interval(4, 8).overlaps(Interval(1, 5))
+        assert not Interval(1, 4).overlaps(Interval(4, 8))  # meets, no overlap
+        assert Interval(0, 10).overlaps(Interval(3, 4))
+
+    def test_within_and_during(self):
+        inner = Interval(3, 5)
+        outer = Interval(2, 6)
+        assert inner.within(outer)
+        assert inner.during(outer)
+        assert outer.within(outer)
+        assert not outer.during(outer)  # during is strict
+        assert not outer.within(inner)
+
+    def test_contains(self):
+        assert Interval(2, 6).contains(Interval(3, 5))
+        assert Interval(2, 6).contains(Interval(2, 6))
+        assert not Interval(3, 5).contains(Interval(2, 6))
+
+    def test_meets(self):
+        assert Interval(1, 4).meets(Interval(4, 9))
+        assert not Interval(1, 4).meets(Interval(5, 9))
+        assert not Interval(4, 9).meets(Interval(1, 4))
+
+    def test_precedes(self):
+        assert Interval(1, 4).precedes(Interval(4, 9))
+        assert Interval(1, 4).precedes(Interval(6, 9))
+        assert not Interval(1, 5).precedes(Interval(4, 9))
+
+
+class TestConstructiveOps:
+    def test_intersect(self):
+        assert Interval(1, 5).intersect(Interval(3, 9)) == Interval(3, 5)
+        assert Interval(1, 5).intersect(Interval(5, 9)) is None
+        assert Interval(0, 10).intersect(Interval(3, 4)) == Interval(3, 4)
+
+    def test_intersect_commutes(self):
+        a, b = Interval(1, 7), Interval(4, 12)
+        assert a.intersect(b) == b.intersect(a)
+
+    def test_hull(self):
+        assert Interval(1, 3).hull(Interval(7, 9)) == Interval(1, 9)
+
+    def test_shift(self):
+        assert Interval(2, 5).shift(3) == Interval(5, 8)
+        assert Interval(2, 5).shift(-2) == Interval(0, 3)
+        assert Interval(2).shift(4) == Interval(6, FOREVER)
+
+    def test_split_at(self):
+        left, right = Interval(2, 8).split_at(5)
+        assert left == Interval(2, 5)
+        assert right == Interval(5, 8)
+
+    def test_split_at_boundary_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(2, 8).split_at(2)
+        with pytest.raises(ValueError):
+            Interval(2, 8).split_at(8)
+
+
+class TestOrderingAndHashing:
+    def test_sort_order(self):
+        ivs = [Interval(5, 9), Interval(1, 3), Interval(1, 2)]
+        assert sorted(ivs) == [Interval(1, 2), Interval(1, 3), Interval(5, 9)]
+
+    def test_hashable(self):
+        assert len({Interval(1, 2), Interval(1, 2), Interval(1, 3)}) == 2
+
+    def test_repr_uses_inf(self):
+        assert repr(Interval(3)) == "[3, inf)"
+        assert repr(Interval(3, 7)) == "[3, 7)"
+        assert format_time(FOREVER) == "inf"
+
+
+class TestCoalesce:
+    def test_merges_adjacent_and_overlapping(self):
+        merged = coalesce([Interval(4, 6), Interval(0, 2), Interval(2, 4), Interval(9, 11)])
+        assert merged == [Interval(0, 6), Interval(9, 11)]
+
+    def test_empty(self):
+        assert coalesce([]) == []
+
+    def test_contained(self):
+        assert coalesce([Interval(0, 10), Interval(2, 4)]) == [Interval(0, 10)]
+
+    def test_total_span(self):
+        assert total_span([Interval(0, 3), Interval(2, 5), Interval(7, 8)]) == 6

@@ -1,0 +1,114 @@
+"""Unit and property-based tests for IntervalSet algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.interval import FOREVER, Interval
+from repro.core.intervalset import IntervalSet
+
+
+def s(*spans):
+    return IntervalSet.of(*spans)
+
+
+class TestConstruction:
+    def test_normalisation(self):
+        assert s((0, 3), (3, 6), (8, 9)).intervals() == [Interval(0, 6), Interval(8, 9)]
+
+    def test_empty_and_point(self):
+        assert not IntervalSet.empty()
+        assert 5 in IntervalSet.point(5)
+        assert 6 not in IntervalSet.point(5)
+
+    def test_always(self):
+        assert 10**15 in IntervalSet.always()
+
+
+class TestAlgebraBasics:
+    A = s((0, 5), (10, 15))
+    B = s((3, 12))
+
+    def test_union(self):
+        assert (self.A | self.B).intervals() == [Interval(0, 15)]
+
+    def test_intersection(self):
+        assert (self.A & self.B).intervals() == [Interval(3, 5), Interval(10, 12)]
+
+    def test_difference(self):
+        assert (self.A - self.B).intervals() == [Interval(0, 3), Interval(12, 15)]
+
+    def test_symmetric_difference(self):
+        assert (self.A ^ self.B).intervals() == [
+            Interval(0, 3), Interval(5, 10), Interval(12, 15)
+        ]
+
+    def test_complement_within_universe(self):
+        assert self.A.complement(Interval(0, 20)).intervals() == [
+            Interval(5, 10), Interval(15, 20)
+        ]
+
+    def test_complement_unbounded(self):
+        comp = self.A.complement()
+        assert 7 in comp and 2 not in comp
+        assert comp.intervals()[-1].is_unbounded
+
+    def test_subset(self):
+        assert s((1, 3)) <= self.A
+        assert not (self.B <= self.A)
+
+    def test_clip_span_points(self):
+        assert self.A.clip(Interval(4, 11)).intervals() == [
+            Interval(4, 5), Interval(10, 11)
+        ]
+        assert self.A.span() == Interval(0, 15)
+        assert self.A.total_points() == 10
+        assert IntervalSet.always().total_points() == FOREVER
+
+
+SPANS = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=30),
+              st.integers(min_value=1, max_value=10)),
+    max_size=6,
+).map(lambda pairs: IntervalSet(Interval(a, a + b) for a, b in pairs))
+
+
+def points(iv_set, domain=range(45)):
+    return {t for t in domain if t in iv_set}
+
+
+@given(SPANS, SPANS)
+@settings(max_examples=300, deadline=None)
+def test_operations_match_python_sets(a, b):
+    pa, pb = points(a), points(b)
+    assert points(a | b) == pa | pb
+    assert points(a & b) == pa & pb
+    assert points(a - b) == pa - pb
+    assert points(a ^ b) == pa ^ pb
+    assert (a <= b) == (pa <= pb)
+
+
+@given(SPANS, SPANS, SPANS)
+@settings(max_examples=200, deadline=None)
+def test_algebraic_laws(a, b, c):
+    assert (a | b) == (b | a)
+    assert (a & b) == (b & a)
+    assert ((a | b) | c) == (a | (b | c))
+    assert (a & (b | c)) == ((a & b) | (a & c))  # distributivity
+    assert (a - b) == (a & b.complement(Interval(0, 60)).union(
+        IntervalSet([Interval(60, FOREVER)])))  # De-Morgan-ish within domain
+
+
+@given(SPANS)
+@settings(max_examples=200, deadline=None)
+def test_normal_form_is_minimal(a):
+    for x, y in zip(a.intervals(), a.intervals()[1:]):
+        assert x.end < y.start  # disjoint AND non-adjacent
+
+
+@given(SPANS)
+@settings(max_examples=200, deadline=None)
+def test_complement_involution(a):
+    universe = Interval(0, 50)
+    clipped = a.clip(universe)
+    assert clipped.complement(universe).complement(universe) == clipped

@@ -1,0 +1,151 @@
+"""Unit tests for PartitionedState: coverage, repartitioning, coalescing."""
+
+import pytest
+
+from repro.core.interval import FOREVER, Interval
+from repro.core.state import PartitionedState, states_equal_pointwise
+
+
+class TestBasics:
+    def test_initial_single_partition(self):
+        s = PartitionedState(Interval(0, 10), 42)
+        assert len(s) == 1
+        assert s.partitions() == [(Interval(0, 10), 42)]
+
+    def test_value_at(self):
+        s = PartitionedState(Interval(0, 10), "x")
+        assert s.value_at(0) == "x"
+        assert s.value_at(9) == "x"
+        with pytest.raises(ValueError):
+            s.value_at(10)
+
+    def test_unbounded_lifespan(self):
+        s = PartitionedState(Interval(0), None)
+        assert s.value_at(10**9) is None
+
+
+class TestSet:
+    def test_interior_update_splits_into_three(self):
+        s = PartitionedState(Interval(0, 10), 0)
+        s.set(Interval(3, 6), 1)
+        assert s.partitions() == [
+            (Interval(0, 3), 0),
+            (Interval(3, 6), 1),
+            (Interval(6, 10), 0),
+        ]
+
+    def test_prefix_update(self):
+        s = PartitionedState(Interval(0, 10), 0)
+        s.set(Interval(0, 4), 1)
+        assert s.partitions() == [(Interval(0, 4), 1), (Interval(4, 10), 0)]
+
+    def test_suffix_update(self):
+        s = PartitionedState(Interval(0, 10), 0)
+        s.set(Interval(4, 10), 1)
+        assert s.partitions() == [(Interval(0, 4), 0), (Interval(4, 10), 1)]
+
+    def test_full_overwrite(self):
+        s = PartitionedState(Interval(0, 10), 0)
+        s.set(Interval(2, 5), 1)
+        s.set(Interval(0, 10), 7)
+        assert s.partitions() == [(Interval(0, 10), 7)]
+
+    def test_update_spanning_partitions(self):
+        s = PartitionedState(Interval(0, 12), 0)
+        s.set(Interval(2, 4), 1)
+        s.set(Interval(8, 10), 2)
+        s.set(Interval(3, 9), 5)
+        assert s.value_at(3) == 5
+        assert s.value_at(8) == 5
+        assert s.value_at(2) == 1
+        assert s.value_at(9) == 2
+        s.check_invariants()
+
+    def test_outside_lifespan_rejected(self):
+        s = PartitionedState(Interval(2, 8), 0)
+        with pytest.raises(ValueError):
+            s.set(Interval(0, 4), 1)
+        with pytest.raises(ValueError):
+            s.set(Interval(5, 9), 1)
+
+    def test_paper_repartition_example(self):
+        """Fig. 2: B's state, initially ∞, split into 3 by two updates."""
+        inf = FOREVER
+        s = PartitionedState(Interval(0, FOREVER), inf)
+        s.set(Interval(4, 6), 4)
+        s.set(Interval(6, FOREVER), 3)
+        assert s.partitions() == [
+            (Interval(0, 4), inf),
+            (Interval(4, 6), 4),
+            (Interval(6, FOREVER), 3),
+        ]
+
+
+class TestCoalescing:
+    def test_adjacent_equal_values_merge(self):
+        s = PartitionedState(Interval(0, 10), 0)
+        s.set(Interval(2, 5), 1)
+        s.set(Interval(5, 8), 1)
+        assert (Interval(2, 8), 1) in s.partitions()
+        assert len(s) == 3
+
+    def test_no_coalesce_when_disabled(self):
+        s = PartitionedState(Interval(0, 10), 0, coalesce=False)
+        s.set(Interval(2, 5), 1)
+        s.set(Interval(5, 8), 1)
+        assert len(s) == 4
+
+    def test_setting_same_value_collapses(self):
+        s = PartitionedState(Interval(0, 10), 7)
+        s.set(Interval(3, 5), 7)
+        assert len(s) == 1
+
+
+class TestSlices:
+    def test_slices_clip(self):
+        s = PartitionedState(Interval(0, 10), 0)
+        s.set(Interval(4, 7), 1)
+        assert s.slices(Interval(5, 9)) == [(Interval(5, 7), 1), (Interval(7, 9), 0)]
+
+    def test_slices_outside(self):
+        s = PartitionedState(Interval(3, 8), 0)
+        assert s.slices(Interval(8, 12)) == []
+        assert s.slices(Interval(0, 3)) == []
+
+    def test_slices_partial_overlap_with_lifespan(self):
+        s = PartitionedState(Interval(3, 8), "a")
+        assert s.slices(Interval(0, 5)) == [(Interval(3, 5), "a")]
+
+
+class TestHelpers:
+    def test_update_fn(self):
+        s = PartitionedState(Interval(0, 6), 10)
+        s.set(Interval(2, 4), 20)
+        s.update(Interval(0, 6), lambda iv, old: old + 1)
+        assert s.value_at(0) == 11
+        assert s.value_at(3) == 21
+
+    def test_copy_is_independent(self):
+        s = PartitionedState(Interval(0, 6), 0)
+        clone = s.copy()
+        clone.set(Interval(1, 2), 9)
+        assert s.value_at(1) == 0
+
+    def test_fill(self):
+        s = PartitionedState(Interval(0, 6), 0)
+        s.set(Interval(1, 2), 9)
+        s.fill(5)
+        assert s.partitions() == [(Interval(0, 6), 5)]
+
+    def test_pointwise_equality_ignores_partitioning(self):
+        a = PartitionedState(Interval(0, 10), 1, coalesce=False)
+        b = PartitionedState(Interval(0, 10), 1, coalesce=False)
+        a.set(Interval(0, 5), 1)  # split, same value
+        assert states_equal_pointwise(a, b)
+        b.set(Interval(3, 4), 2)
+        assert not states_equal_pointwise(a, b)
+
+    def test_pointwise_equality_different_lifespans(self):
+        a = PartitionedState(Interval(0, 10), 1)
+        b = PartitionedState(Interval(0, 9), 1)
+        assert not states_equal_pointwise(a, b)

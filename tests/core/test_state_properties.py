@@ -1,0 +1,90 @@
+"""Property-based tests: PartitionedState invariants under random updates."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.interval import Interval
+from repro.core.state import PartitionedState
+
+LIFESPAN = Interval(0, 40)
+
+
+@st.composite
+def updates(draw):
+    n = draw(st.integers(min_value=0, max_value=12))
+    out = []
+    for _ in range(n):
+        start = draw(st.integers(min_value=0, max_value=39))
+        end = draw(st.integers(min_value=start + 1, max_value=40))
+        value = draw(st.integers(min_value=0, max_value=5))
+        out.append((Interval(start, end), value))
+    return out
+
+
+@given(updates())
+@settings(max_examples=300, deadline=None)
+def test_invariants_hold_after_any_update_sequence(seq):
+    state = PartitionedState(LIFESPAN, -1)
+    for interval, value in seq:
+        state.set(interval, value)
+        state.check_invariants()
+
+
+@given(updates())
+@settings(max_examples=300, deadline=None)
+def test_pointwise_semantics_match_naive_array(seq):
+    """The partitioned store behaves exactly like a dense value array."""
+    state = PartitionedState(LIFESPAN, -1)
+    dense = [-1] * 40
+    for interval, value in seq:
+        state.set(interval, value)
+        for t in interval.points():
+            dense[t] = value
+    for t in range(40):
+        assert state.value_at(t) == dense[t]
+
+
+@given(updates())
+@settings(max_examples=200, deadline=None)
+def test_coalescing_produces_minimal_partition_count(seq):
+    """With coalescing, no two adjacent partitions hold equal values."""
+    state = PartitionedState(LIFESPAN, -1)
+    for interval, value in seq:
+        state.set(interval, value)
+    parts = state.partitions()
+    for (_, v1), (_, v2) in zip(parts, parts[1:]):
+        assert v1 != v2
+
+
+@given(updates())
+@settings(max_examples=200, deadline=None)
+def test_coalesced_and_uncoalesced_agree_pointwise(seq):
+    a = PartitionedState(LIFESPAN, -1, coalesce=True)
+    b = PartitionedState(LIFESPAN, -1, coalesce=False)
+    for interval, value in seq:
+        a.set(interval, value)
+        b.set(interval, value)
+    for t in range(40):
+        assert a.value_at(t) == b.value_at(t)
+    assert len(a) <= len(b)
+
+
+@given(updates(), st.integers(min_value=0, max_value=39), st.integers(min_value=1, max_value=40))
+@settings(max_examples=200, deadline=None)
+def test_slices_cover_window_exactly(seq, start, length):
+    end = min(40, start + length)
+    if start >= end:
+        return
+    state = PartitionedState(LIFESPAN, -1)
+    for interval, value in seq:
+        state.set(interval, value)
+    window = Interval(start, end)
+    slices = state.slices(window)
+    # Contiguous cover of the window.
+    assert slices[0][0].start == start
+    assert slices[-1][0].end == end
+    for (iv1, _), (iv2, _) in zip(slices, slices[1:]):
+        assert iv1.end == iv2.start
+    for iv, value in slices:
+        for t in iv.points():
+            assert state.value_at(t) == value

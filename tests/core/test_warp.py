@@ -1,0 +1,188 @@
+"""Unit tests for time-join and time-warp, anchored on the paper's Fig. 3."""
+
+from repro.core.interval import Interval
+from repro.core.warp import time_join, time_warp, warp_boundaries
+
+
+def iv(a, b):
+    return Interval(a, b)
+
+
+class TestTimeJoin:
+    def test_basic_overlap(self):
+        out = time_join([(iv(0, 5), "s")], [(iv(3, 8), "m")])
+        assert out == [(iv(3, 5), "s", "m")]
+
+    def test_disjoint(self):
+        assert time_join([(iv(0, 3), "s")], [(iv(3, 8), "m")]) == []
+
+    def test_paper_m2_splits_across_states(self):
+        """m2 = [2,7) overlaps s1 and s2 → ⟨[2,5),s1,m2⟩ and ⟨[5,7),s2,m2⟩."""
+        states = [(iv(0, 5), "s1"), (iv(5, 9), "s2")]
+        out = time_join(states, [(iv(2, 7), "m2")])
+        assert (iv(2, 5), "s1", "m2") in out
+        assert (iv(5, 7), "s2", "m2") in out
+        assert len(out) == 2
+
+    def test_cross_product_on_full_overlap(self):
+        out = time_join(
+            [(iv(0, 10), "a"), (iv(0, 10), "b")],
+            [(iv(2, 4), 1), (iv(3, 6), 2)],
+        )
+        assert len(out) == 4
+
+    def test_unsorted_inputs(self):
+        out = time_join(
+            [(iv(6, 9), "s2"), (iv(0, 6), "s1")],
+            [(iv(8, 12), "m2"), (iv(1, 2), "m1")],
+        )
+        assert (iv(1, 2), "s1", "m1") in out
+        assert (iv(8, 9), "s2", "m2") in out
+        assert len(out) == 2
+
+
+class TestWarpFig3:
+    """The detailed warp example of Sec. IV-B (Fig. 3): 3 partitioned
+    states, 5 messages, boundaries {0, 2, 4, 5, 7, 9, 10}."""
+
+    STATES = [(iv(0, 5), "s1"), (iv(5, 9), "s2"), (iv(9, 10), "s3")]
+    MESSAGES = [
+        (iv(0, 4), "m1"),
+        (iv(2, 7), "m2"),
+        (iv(7, 9), "m3"),
+        (iv(9, 10), "m4"),
+        (iv(5, 7), "m5"),
+    ]
+
+    def test_full_output(self):
+        out = time_warp(self.STATES, self.MESSAGES)
+        expected = [
+            (iv(0, 2), "s1", ["m1"]),
+            (iv(2, 4), "s1", ["m1", "m2"]),
+            (iv(4, 5), "s1", ["m2"]),
+            (iv(5, 7), "s2", ["m2", "m5"]),
+            (iv(7, 9), "s2", ["m3"]),
+            (iv(9, 10), "s3", ["m4"]),
+        ]
+        assert [(t, s, sorted(g)) for t, s, g in out] == expected
+
+    def test_boundaries(self):
+        bounds = warp_boundaries(iv(0, 5), self.MESSAGES)
+        assert bounds == [0, 2, 4, 5]
+
+
+class TestWarpSemantics:
+    def test_empty_inner_returns_nothing(self):
+        assert time_warp([(iv(0, 5), "s")], []) == []
+
+    def test_empty_outer_returns_nothing(self):
+        assert time_warp([], [(iv(0, 5), "m")]) == []
+
+    def test_no_overlap_omitted(self):
+        """Triples with empty message groups are not produced (M_r ≠ ∅)."""
+        out = time_warp([(iv(0, 10), "s")], [(iv(2, 4), "m")])
+        assert out == [(iv(2, 4), "s", ["m"])]
+
+    def test_message_duplicated_to_multiple_states(self):
+        out = time_warp(
+            [(iv(0, 5), "a"), (iv(5, 10), "b")],
+            [(iv(3, 8), "m")],
+        )
+        assert out == [(iv(3, 5), "a", ["m"]), (iv(5, 8), "b", ["m"])]
+
+    def test_maximal_merges_same_group_across_equal_states(self):
+        """Adjacent partitions with equal value and identical groups merge."""
+        out = time_warp(
+            [(iv(0, 5), "same"), (iv(5, 10), "same")],
+            [(iv(2, 8), "m")],
+        )
+        assert out == [(iv(2, 8), "same", ["m"])]
+
+    def test_maximal_does_not_merge_different_states(self):
+        out = time_warp(
+            [(iv(0, 5), "a"), (iv(5, 10), "b")],
+            [(iv(0, 10), "m")],
+        )
+        assert len(out) == 2
+
+    def test_equal_valued_messages_meeting_merge(self):
+        """Two distinct messages with equal values meeting at a boundary
+        still satisfy maximality (value-set equality, not identity)."""
+        out = time_warp(
+            [(iv(0, 10), "s")],
+            [(iv(0, 5), 42), (iv(5, 10), 42)],
+        )
+        assert out == [(iv(0, 10), "s", [42])]
+
+    def test_unbounded_message(self):
+        out = time_warp(
+            [(iv(0, 4), "x"), (iv(4, Interval(0).end), "y")],
+            [(Interval(2), "m")],
+        )
+        assert out[0] == (iv(2, 4), "x", ["m"])
+        assert out[1][0] == Interval(4)
+        assert out[1][1] == "y"
+
+    def test_sssp_superstep2_warp_at_B(self):
+        """Paper Sec. IV-A3: B's prior state ⟨[0,∞),∞⟩ with messages
+        ⟨[4,∞),4⟩ and ⟨[6,∞),3⟩ warps to [4,6)·{4} and [6,∞)·{3,4}."""
+        INF = float("inf")
+        out = time_warp(
+            [(Interval(0), INF)],
+            [(Interval(4), 4), (Interval(6), 3)],
+        )
+        assert [(t, sorted(g)) for t, _, g in out] == [
+            (iv(4, 6), [4]),
+            (Interval(6), [3, 4]),
+        ]
+
+    def test_sssp_superstep3_warp_at_E(self):
+        """E's prior state ⟨[0,∞),∞⟩ with ⟨[9,∞),5⟩ and ⟨[6,∞),7⟩ warps
+        to ⟨[6,9),∞,{7}⟩ and ⟨[9,∞),∞,{5,7}⟩."""
+        INF = float("inf")
+        out = time_warp(
+            [(Interval(0), INF)],
+            [(Interval(9), 5), (Interval(6), 7)],
+        )
+        assert [(t, sorted(g)) for t, _, g in out] == [
+            (iv(6, 9), [7]),
+            (Interval(9), [5, 7]),
+        ]
+
+
+class TestWarpCombiner:
+    def test_combiner_folds_groups(self):
+        out = time_warp(
+            [(iv(0, 10), "s")],
+            [(iv(0, 6), 5), (iv(4, 10), 3)],
+            combine=min,
+        )
+        assert out == [
+            (iv(0, 4), "s", [5]),
+            (iv(4, 6), "s", [3]),
+            (iv(6, 10), "s", [3]),
+        ]
+
+    def test_combined_merge_is_positional_not_multiset(self):
+        """Regression: fold 2/count 1 next to fold 1/count 2 must NOT merge
+        (a multiset comparison of the [folded, count] pairs would)."""
+        out = time_warp(
+            [(iv(0, 10), "s")],
+            [(Interval(4), 2), (Interval(7), 1)],
+            combine=min,
+        )
+        assert [(t, g) for t, _, g in out] == [
+            (iv(4, 7), [2]),
+            (iv(7, 10), [1]),
+        ]
+
+    def test_combiner_matches_unfolded_fold(self):
+        states = [(iv(0, 4), "a"), (iv(4, 12), "b")]
+        msgs = [(iv(1, 9), 7), (iv(3, 5), 2), (iv(8, 12), 1)]
+        folded = time_warp(states, msgs, combine=min)
+        plain = time_warp(states, msgs)
+        # Same cover; each folded value equals min of the plain group.
+        assert [t for t, _, _ in folded] == [t for t, _, _ in plain]
+        for (t1, s1, g1), (t2, s2, g2) in zip(folded, plain):
+            assert s1 == s2
+            assert g1 == [min(g2)]

@@ -1,0 +1,129 @@
+"""Property-based tests for the four formal warp guarantees (Sec. IV-B)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.interval import Interval
+from repro.core.warp import time_join, time_warp
+
+#: Compact time domain so overlaps are common.
+TIME = st.integers(min_value=0, max_value=30)
+
+
+@st.composite
+def partitioned_outer(draw):
+    """A temporally partitioned outer set with unique values per partition."""
+    bounds = sorted(draw(st.sets(TIME, min_size=2, max_size=8)))
+    return [
+        (Interval(lo, hi), f"s{i}")
+        for i, (lo, hi) in enumerate(zip(bounds, bounds[1:]))
+    ]
+
+
+@st.composite
+def inner_messages(draw):
+    """Arbitrary inner interval-values with unique values per item."""
+    n = draw(st.integers(min_value=1, max_value=8))
+    items = []
+    for i in range(n):
+        start = draw(TIME)
+        length = draw(st.integers(min_value=1, max_value=12))
+        items.append((Interval(start, start + length), f"m{i}"))
+    return items
+
+
+@given(partitioned_outer(), inner_messages())
+@settings(max_examples=300, deadline=None)
+def test_valid_inclusion(outer, inner):
+    """Every overlapping (state, message) pair appears at every shared
+    time-point of some output triple."""
+    out = time_warp(outer, inner)
+    for s_iv, s_val in outer:
+        for m_iv, m_val in inner:
+            common = s_iv.intersect(m_iv)
+            if common is None:
+                continue
+            for t in common.points():
+                hits = [
+                    (iv2, s2, g2)
+                    for iv2, s2, g2 in out
+                    if iv2.contains_point(t) and s2 == s_val and m_val in g2
+                ]
+                assert hits, f"({s_val},{m_val}) missing at t={t}"
+
+
+@given(partitioned_outer(), inner_messages())
+@settings(max_examples=300, deadline=None)
+def test_no_invalid_inclusion(outer, inner):
+    """Output triples only combine values that exist throughout."""
+    out = time_warp(outer, inner)
+    outer_by_val = {v: iv2 for iv2, v in outer}
+    inner_by_val = {v: iv2 for iv2, v in inner}
+    for iv2, s_val, group in out:
+        assert iv2.within(outer_by_val[s_val])
+        for m_val in group:
+            assert iv2.within(inner_by_val[m_val])
+
+
+@given(partitioned_outer(), inner_messages())
+@settings(max_examples=300, deadline=None)
+def test_no_duplication(outer, inner):
+    """An outer value covers each time-point in at most one triple."""
+    out = time_warp(outer, inner)
+    for i, (iv_a, s_a, _) in enumerate(out):
+        for iv_b, s_b, _ in out[i + 1:]:
+            if s_a == s_b:
+                assert not iv_a.overlaps(iv_b)
+
+
+@given(partitioned_outer(), inner_messages())
+@settings(max_examples=300, deadline=None)
+def test_maximal(outer, inner):
+    """No two adjacent/overlapping triples share value and message group."""
+    out = time_warp(outer, inner)
+    for i, (iv_a, s_a, g_a) in enumerate(out):
+        for iv_b, s_b, g_b in out[i + 1:]:
+            if s_a == s_b and sorted(g_a) == sorted(g_b):
+                assert not iv_a.overlaps(iv_b)
+                assert not (iv_a.meets(iv_b) or iv_b.meets(iv_a))
+
+
+@given(partitioned_outer(), inner_messages())
+@settings(max_examples=200, deadline=None)
+def test_groups_never_empty(outer, inner):
+    for _, _, group in time_warp(outer, inner):
+        assert group
+
+
+@given(partitioned_outer(), inner_messages())
+@settings(max_examples=200, deadline=None)
+def test_output_sorted_and_within_join(outer, inner):
+    """Triples come out time-ordered and consistent with the time-join."""
+    out = time_warp(outer, inner)
+    starts = [iv2.start for iv2, _, _ in out]
+    assert starts == sorted(starts)
+    join = time_join(outer, inner)
+    join_pairs = {(s, m) for _, s, m in join}
+    for iv2, s_val, group in out:
+        for m_val in group:
+            assert (s_val, m_val) in join_pairs
+
+
+@given(partitioned_outer(), inner_messages())
+@settings(max_examples=200, deadline=None)
+def test_combiner_path_agrees_with_plain_path(outer, inner):
+    """Inline-fold triples cover the same points with the folded value."""
+    plain = time_warp(outer, inner)
+    folded = time_warp(outer, inner, combine=min)
+    # Compare pointwise: for each time-point covered, the folded value must
+    # equal the min of the plain group covering it.
+    point_plain = {}
+    for iv2, s_val, group in plain:
+        for t in iv2.points():
+            point_plain[(t, s_val)] = min(group)
+    point_folded = {}
+    for iv2, s_val, group in folded:
+        assert len(group) == 1
+        for t in iv2.points():
+            point_folded[(t, s_val)] = group[0]
+    assert point_plain == point_folded

@@ -1,0 +1,76 @@
+"""Cross-check the sweep-based warp against a naive per-time-point model.
+
+The naive model is the *definition*: for every time-point, the active
+group is the set of inner values covering it, paired with the covering
+outer value.  The sweep must agree pointwise, and its triples must be the
+coarsest partition of that pointwise function (maximality).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.interval import Interval
+from repro.core.warp import time_warp
+
+TIME_LIMIT = 24
+TIME = st.integers(min_value=0, max_value=TIME_LIMIT)
+
+
+@st.composite
+def partitioned_outer(draw):
+    bounds = sorted(draw(st.sets(TIME, min_size=2, max_size=6)))
+    values = [draw(st.integers(min_value=0, max_value=3)) for _ in bounds[1:]]
+    return [
+        (Interval(lo, hi), v)
+        for (lo, hi), v in zip(zip(bounds, bounds[1:]), values)
+    ]
+
+
+@st.composite
+def inner_items(draw):
+    n = draw(st.integers(min_value=1, max_value=7))
+    items = []
+    for _ in range(n):
+        start = draw(TIME)
+        length = draw(st.integers(min_value=1, max_value=10))
+        items.append((Interval(start, start + length), draw(st.integers(min_value=0, max_value=3))))
+    return items
+
+
+def naive_pointwise(outer, inner):
+    """time-point → (outer value, sorted inner multiset) or None."""
+    table = {}
+    for t in range(TIME_LIMIT + 12):
+        outer_vals = [v for iv, v in outer if iv.contains_point(t)]
+        if not outer_vals:
+            continue
+        group = sorted(v for iv, v in inner if iv.contains_point(t))
+        if group:
+            table[t] = (outer_vals[0], group)
+    return table
+
+
+@given(partitioned_outer(), inner_items())
+@settings(max_examples=300, deadline=None)
+def test_sweep_agrees_with_naive_pointwise(outer, inner):
+    triples = time_warp(outer, inner)
+    naive = naive_pointwise(outer, inner)
+    from_sweep = {}
+    for iv, s, group in triples:
+        for t in iv.points():
+            assert t not in from_sweep, "triples overlap"
+            from_sweep[t] = (s, sorted(group))
+    assert from_sweep == naive
+
+
+@given(partitioned_outer(), inner_items())
+@settings(max_examples=300, deadline=None)
+def test_sweep_is_coarsest_partition(outer, inner):
+    """Maximality, stated against the naive model: consecutive time-points
+    with identical (value, group) must never be split across triples."""
+    triples = time_warp(outer, inner)
+    naive = naive_pointwise(outer, inner)
+    starts = {iv.start for iv, _, _ in triples}
+    for t in sorted(naive):
+        if t + 1 in naive and naive[t] == naive[t + 1]:
+            assert t + 1 not in starts, f"needless split at {t + 1}"

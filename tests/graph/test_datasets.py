@@ -1,0 +1,111 @@
+"""Tests for the dataset generators: transit, Table-1 surrogates, LDBC."""
+
+import pytest
+
+from repro.core.interval import Interval
+from repro.datasets import (
+    SURROGATES,
+    ldbc_graph,
+    load_surrogate,
+    transit_graph,
+)
+from repro.datasets.synthetic import TRAVEL_COST, TRAVEL_TIME
+from repro.graph.stats import dataset_stats
+
+
+class TestTransit:
+    def test_structure(self):
+        g = transit_graph()
+        assert g.num_vertices == 6
+        assert g.num_edges == 7
+        g.validate()
+
+    def test_edge_ab_two_cost_regimes(self):
+        g = transit_graph()
+        ab = g.edge("AB")
+        timeline = ab.properties.timeline(TRAVEL_COST).entries()
+        assert timeline == [(Interval(3, 5), 4), (Interval(5, 6), 3)]
+
+    def test_all_travel_times_are_one(self):
+        g = transit_graph()
+        for e in g.edges():
+            assert e.properties.value_at(TRAVEL_TIME, e.lifespan.start) == 1
+
+
+class TestSurrogates:
+    @pytest.mark.parametrize("name", sorted(SURROGATES))
+    def test_valid_and_deterministic(self, name):
+        g1 = load_surrogate(name, scale=0.3)
+        g2 = load_surrogate(name, scale=0.3)
+        g1.validate()
+        assert g1.num_vertices == g2.num_vertices
+        assert g1.num_edges == g2.num_edges
+        # Deterministic edge lifespans too.
+        spans1 = sorted((str(e.eid), e.lifespan) for e in g1.edges())
+        spans2 = sorted((str(e.eid), e.lifespan) for e in g2.edges())
+        assert spans1 == spans2
+
+    @pytest.mark.parametrize("name", sorted(SURROGATES))
+    def test_every_edge_has_td_properties(self, name):
+        g = load_surrogate(name, scale=0.3)
+        for e in g.edges():
+            assert TRAVEL_COST in e.properties
+            assert TRAVEL_TIME in e.properties
+            # Cost timeline covers the whole lifespan.
+            covered = e.properties.timeline(TRAVEL_COST).total_covered()
+            assert covered == e.lifespan.length
+
+    def test_scale_grows_graph(self):
+        small = load_surrogate("twitter", scale=0.3)
+        big = load_surrogate("twitter", scale=1.0)
+        assert big.num_vertices > small.num_vertices
+        assert big.num_edges > small.num_edges
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_surrogate("orkut")
+
+    def test_characteristic_lifespans(self):
+        """The Table-1 shape each surrogate exists to preserve."""
+        stats = {name: dataset_stats(load_surrogate(name, scale=0.3), name)
+                 for name in SURROGATES}
+        assert stats["gplus"].avg_edge_lifespan == 1.0
+        assert stats["usrn"].avg_edge_lifespan == stats["usrn"].num_snapshots
+        assert stats["twitter"].avg_edge_lifespan == stats["twitter"].num_snapshots
+        # Mixed lifespans: mostly unit, average close to 1 but above it.
+        assert 1.0 < stats["reddit"].avg_edge_lifespan < 4.0
+        # Long but not full.
+        assert (stats["mag"].num_snapshots * 0.4
+                < stats["mag"].avg_edge_lifespan
+                < stats["mag"].num_snapshots)
+
+    def test_usrn_is_planar_grid_with_high_diameter(self):
+        from repro.algorithms.td.eat import TemporalEAT
+        from repro.core.engine import IntervalCentricEngine
+
+        g = load_surrogate("usrn", scale=1.0)
+        # 4-neighbour grid: max out-degree 4.
+        assert max(len(g.out_edges(v)) for v in g.vertex_ids()) <= 4
+
+
+class TestLdbc:
+    def test_weak_scaling_load(self):
+        g1 = ldbc_graph(1, vertices_per_machine=50, edges_per_machine=300)
+        g4 = ldbc_graph(4, vertices_per_machine=50, edges_per_machine=300)
+        assert g1.num_vertices == 50
+        assert g4.num_vertices == 200
+        assert g4.num_edges == 4 * g1.num_edges
+        g4.validate()
+
+    def test_churn_exists(self):
+        g = ldbc_graph(2, vertices_per_machine=50, edges_per_machine=300)
+        horizon = g.time_horizon()
+        lifespans = [e.lifespan for e in g.edges()]
+        assert any(iv.start > 0 for iv in lifespans)  # births over time
+        assert any(iv.end < horizon for iv in lifespans)  # deaths too
+        assert any(iv.length >= horizon // 2 for iv in lifespans)  # persisters
+
+    def test_deterministic_per_machine_count(self):
+        a = ldbc_graph(2, seed=7)
+        b = ldbc_graph(2, seed=7)
+        assert sorted(str(e.eid) for e in a.edges()) == sorted(str(e.eid) for e in b.edges())

@@ -1,0 +1,167 @@
+"""Tests for graph IO round-trips, dataset statistics, and property sets."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.interval import FOREVER, Interval
+from repro.core.state import states_equal_pointwise
+from repro.datasets import gplus, transit_graph, twitter, usrn
+from repro.graph.io import dump_graph, load_graph
+from repro.graph.properties import PropertySet, PropertyTimeline
+from repro.graph.stats import dataset_stats, memory_footprint
+
+
+class TestPropertyTimeline:
+    def test_add_and_query(self):
+        tl = PropertyTimeline()
+        tl.add(Interval(0, 4), "a")
+        tl.add(Interval(6, 9), "b")
+        assert tl.value_at(0) == "a"
+        assert tl.value_at(5) is None
+        assert tl.value_at(6) == "b"
+
+    def test_overlap_rejected(self):
+        tl = PropertyTimeline()
+        tl.add(Interval(0, 5), 1)
+        with pytest.raises(ValueError):
+            tl.add(Interval(4, 8), 2)
+        with pytest.raises(ValueError):
+            tl.add(Interval(0, 2), 3)
+
+    def test_out_of_order_insertion(self):
+        tl = PropertyTimeline()
+        tl.add(Interval(6, 9), "b")
+        tl.add(Interval(0, 4), "a")
+        assert [iv for iv, _ in tl.entries()] == [Interval(0, 4), Interval(6, 9)]
+
+    def test_pieces(self):
+        tl = PropertyTimeline()
+        tl.add(Interval(0, 4), "a")
+        tl.add(Interval(4, 9), "b")
+        assert tl.pieces(Interval(2, 6)) == [(Interval(2, 4), "a"), (Interval(4, 6), "b")]
+
+    def test_boundaries_and_span(self):
+        tl = PropertyTimeline()
+        tl.add(Interval(2, 4), 1)
+        tl.add(Interval(7, 9), 2)
+        assert tl.boundaries() == [2, 4, 7, 9]
+        assert tl.span() == Interval(2, 9)
+        assert tl.total_covered() == 4
+
+    def test_property_set(self):
+        ps = PropertySet()
+        ps.add("x", Interval(0, 3), 1)
+        ps.add("y", Interval(1, 5), 2)
+        assert ps.labels() == ["x", "y"]
+        assert ps.values_at(2) == {"x": 1, "y": 2}
+        assert ps.values_at(4) == {"y": 2}
+        assert ps.boundaries() == [0, 1, 3, 5]
+        assert ps.total_entries() == 2
+
+
+class TestIO:
+    def test_roundtrip_transit(self):
+        g = transit_graph()
+        buf = io.StringIO()
+        dump_graph(g, buf)
+        buf.seek(0)
+        g2 = load_graph(buf)
+        assert g2.num_vertices == g.num_vertices
+        assert g2.num_edges == g.num_edges
+        for e in g.edges():
+            e2 = g2.edge(e.eid)
+            assert (e2.src, e2.dst, e2.lifespan) == (e.src, e.dst, e.lifespan)
+            for label in e.properties:
+                assert e2.properties.timeline(label).entries() == \
+                    e.properties.timeline(label).entries()
+
+    def test_roundtrip_file(self, tmp_path):
+        g = gplus(scale=0.2)
+        path = tmp_path / "g.tg"
+        dump_graph(g, path)
+        g2 = load_graph(path)
+        assert g2.num_edges == g.num_edges
+
+    def test_bad_line_reports_location(self):
+        with pytest.raises(ValueError, match="line 2"):
+            load_graph(io.StringIO("# header\nBOGUS\trecord\n"))
+
+    def test_unbounded_interval_roundtrip(self):
+        g = transit_graph()
+        buf = io.StringIO()
+        dump_graph(g, buf)
+        assert "inf" in buf.getvalue()
+        buf.seek(0)
+        assert load_graph(buf).vertex("A").lifespan.end == FOREVER
+
+
+class TestStats:
+    def test_transit_stats(self):
+        stats = dataset_stats(transit_graph(), "transit", horizon=10)
+        assert stats.interval_v == 6
+        assert stats.interval_e == 7
+        assert stats.num_snapshots == 10
+        assert stats.multi_snapshot_v == 60  # 6 perpetual vertices × 10
+        assert stats.transformed_v > stats.interval_v
+
+    def test_lifespan_shapes_match_dataset_design(self):
+        """The surrogates must preserve Table 1's lifespan character."""
+        g_unit = gplus(scale=0.3)
+        g_full = twitter(scale=0.3)
+        s_unit = dataset_stats(g_unit, "gplus")
+        s_full = dataset_stats(g_full, "twitter")
+        assert s_unit.avg_edge_lifespan == 1.0
+        assert s_full.avg_edge_lifespan == s_full.num_snapshots
+        assert s_full.avg_property_lifespan < s_full.avg_edge_lifespan
+
+    def test_usrn_static_topology(self):
+        g = usrn(scale=0.4)
+        stats = dataset_stats(g, "usrn")
+        assert stats.largest_snapshot_e == stats.interval_e
+
+    def test_memory_footprint_ordering(self):
+        """Fig. 6a: transformed > interval for long-lifespan graphs."""
+        g = twitter(scale=0.3)
+        footprint = memory_footprint(g)
+        assert footprint["transformed"] > footprint["interval"]
+        assert footprint["multi_snapshot_total"] >= footprint["largest_snapshot"]
+
+
+@st.composite
+def random_temporal_graph(draw):
+    from repro.graph.builder import TemporalGraphBuilder
+
+    n = draw(st.integers(min_value=1, max_value=8))
+    horizon = 12
+    b = TemporalGraphBuilder()
+    for i in range(n):
+        b.add_vertex(f"v{i}", 0, horizon)
+    n_edges = draw(st.integers(min_value=0, max_value=12))
+    for _ in range(n_edges):
+        src = draw(st.integers(min_value=0, max_value=n - 1))
+        dst = draw(st.integers(min_value=0, max_value=n - 1))
+        start = draw(st.integers(min_value=0, max_value=horizon - 1))
+        end = draw(st.integers(min_value=start + 1, max_value=horizon))
+        cost = draw(st.integers(min_value=1, max_value=9))
+        b.add_edge(f"v{src}", f"v{dst}", start, end,
+                   props={"travel-cost": [(start, end, cost)], "travel-time": 1})
+    return b.build()
+
+
+@given(random_temporal_graph())
+@settings(max_examples=60, deadline=None)
+def test_io_roundtrip_property(graph):
+    buf = io.StringIO()
+    dump_graph(graph, buf)
+    buf.seek(0)
+    loaded = load_graph(buf)
+    assert loaded.num_vertices == graph.num_vertices
+    assert loaded.num_edges == graph.num_edges
+    for e in graph.edges():
+        e2 = loaded.edge(e.eid)
+        assert (e2.src, e2.dst, e2.lifespan) == (e.src, e.dst, e.lifespan)
+        assert e2.properties.values_at(e.lifespan.start) == \
+            e.properties.values_at(e.lifespan.start)

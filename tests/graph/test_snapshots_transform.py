@@ -1,0 +1,132 @@
+"""Tests for snapshot extraction and transformed-graph construction."""
+
+import pytest
+
+from repro.core.interval import Interval
+from repro.datasets.transit import transit_graph
+from repro.graph.builder import TemporalGraphBuilder
+from repro.graph.snapshots import (
+    iter_snapshots,
+    largest_snapshot,
+    snapshot_at,
+    snapshot_sizes,
+)
+from repro.graph.transform import (
+    CHAIN,
+    build_snapshot_replica_graph,
+    build_transformed_graph,
+    transformed_size,
+)
+
+
+def evolving_graph():
+    b = TemporalGraphBuilder()
+    b.add_vertex("A", 0, 6)
+    b.add_vertex("B", 0, 6)
+    b.add_vertex("C", 2, 5)
+    b.add_edge("A", "B", 0, 3, eid="ab")
+    b.add_edge("B", "C", 2, 5, eid="bc", props={"travel-cost": 2, "travel-time": 1})
+    return b.build()
+
+
+class TestSnapshots:
+    def test_snapshot_membership(self):
+        g = evolving_graph()
+        s0 = snapshot_at(g, 0)
+        assert sorted(s0.vertex_ids()) == ["A", "B"]
+        assert s0.num_edges == 1
+        s3 = snapshot_at(g, 3)
+        assert sorted(s3.vertex_ids()) == ["A", "B", "C"]
+        assert [e.eid for e in s3.edges()] == ["bc"]
+
+    def test_snapshot_property_values(self):
+        g = evolving_graph()
+        s2 = snapshot_at(g, 2)
+        bc = [e for e in s2.edges() if e.eid == "bc"][0]
+        assert bc.get("travel-cost") == 2
+
+    def test_iter_and_sizes(self):
+        g = evolving_graph()
+        snaps = list(iter_snapshots(g))
+        assert len(snaps) == 6
+        sizes = snapshot_sizes(g)
+        assert sizes[0] == (0, 2, 1)
+        assert sizes[5] == (5, 2, 0)
+
+    def test_largest_snapshot(self):
+        g = evolving_graph()
+        largest = largest_snapshot(g)
+        assert largest.time == 2  # both edges alive at t=2
+        assert largest.num_edges == 2
+
+    def test_snapshot_reversed(self):
+        g = evolving_graph()
+        rev = snapshot_at(g, 0).reversed()
+        assert [e.dst for e in rev.out_edges("B")] == ["A"]
+
+
+class TestTransformedGraph:
+    def test_replica_and_edge_structure(self):
+        b = TemporalGraphBuilder()
+        b.add_vertices(["A", "B"])
+        b.add_edge("A", "B", 3, 5, eid="e", props={"travel-cost": 7, "travel-time": 1})
+        g = b.build()
+        tg = build_transformed_graph(g, horizon=6)
+        # Departures at 3 and 4, arrivals at 4 and 5; plus lifespan-start replicas.
+        assert tg.has_vertex(("A", 3)) and tg.has_vertex(("A", 4))
+        assert tg.has_vertex(("B", 4)) and tg.has_vertex(("B", 5))
+        app = [e for e in tg.edges() if not e.get(CHAIN)]
+        assert {(e.src, e.dst) for e in app} == {
+            (("A", 3), ("B", 4)),
+            (("A", 4), ("B", 5)),
+        }
+        assert all(e.get("cost") == 7 for e in app)
+        chains = [e for e in tg.edges() if e.get(CHAIN)]
+        # Chains within each vertex's replica timeline.
+        assert (("B", 4), ("B", 5)) in {(e.src, e.dst) for e in chains}
+
+    def test_transformed_size_matches_built_graph(self):
+        g = transit_graph()
+        tv, te = transformed_size(g)
+        tg = build_transformed_graph(g)
+        assert (tg.num_vertices, tg.num_edges) == (tv, te)
+
+    def test_transformed_is_larger_than_interval_graph(self):
+        """Table 1 / Fig. 6a: the transformed representation blows up."""
+        from repro.datasets import twitter
+
+        g = twitter(scale=0.3)
+        tv, te = transformed_size(g)
+        assert tv > g.num_vertices
+        assert te > g.num_edges
+
+    def test_horizon_clipping(self):
+        b = TemporalGraphBuilder()
+        b.add_vertices(["A", "B"])
+        b.add_edge("A", "B", 0, 100, eid="e")
+        g = b.build()
+        tg = build_transformed_graph(g, horizon=4)
+        app = [e for e in tg.edges() if not e.get(CHAIN)]
+        assert len(app) == 4  # departures 0..3 only
+
+
+class TestSnapshotReplicaGraph:
+    def test_same_time_edges_and_chains(self):
+        g = evolving_graph()
+        rg = build_snapshot_replica_graph(g)
+        app = [(e.src, e.dst) for e in rg.edges() if not e.get(CHAIN)]
+        assert (("A", 0), ("B", 0)) in app
+        assert (("B", 2), ("C", 2)) in app
+        assert (("A", 3), ("B", 3)) not in app  # ab dead at 3
+        chains = [(e.src, e.dst) for e in rg.edges() if e.get(CHAIN)]
+        assert (("C", 2), ("C", 3)) in chains
+        assert not rg.has_vertex(("C", 5))
+
+    def test_replica_counts_match_multisnapshot_totals(self):
+        g = evolving_graph()
+        rg = build_snapshot_replica_graph(g)
+        total_v = sum(nv for _, nv, _ in snapshot_sizes(g))
+        app_edges = sum(1 for e in rg.edges() if not e.get(CHAIN))
+        total_e = sum(ne for _, _, ne in snapshot_sizes(g))
+        assert rg.num_vertices == total_v
+        assert app_edges == total_e

@@ -1,0 +1,120 @@
+"""Tests for the timeline algebra."""
+
+import pytest
+
+from repro.core.interval import FOREVER, Interval
+from repro.core.state import PartitionedState
+from repro.query.timeline import Timeline, aggregate, align
+
+
+def iv(a, b):
+    return Interval(a, b)
+
+
+class TestConstruction:
+    def test_sorted_and_validated(self):
+        tl = Timeline([(iv(5, 8), "b"), (iv(0, 3), "a")])
+        assert tl.entries() == [(iv(0, 3), "a"), (iv(5, 8), "b")]
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            Timeline([(iv(0, 5), 1), (iv(3, 8), 2)])
+
+    def test_from_state(self):
+        state = PartitionedState(iv(0, 10), 0)
+        state.set(iv(4, 6), 1)
+        tl = Timeline.from_state(state)
+        assert tl.value_at(5) == 1
+        assert tl.is_covering()
+
+    def test_constant(self):
+        tl = Timeline.constant(iv(2, 9), 7)
+        assert tl.value_at(2) == 7
+        assert tl.value_at(9) is None
+
+
+class TestQueries:
+    TL = Timeline([(iv(0, 3), 1), (iv(5, 8), 2), (iv(8, 12), 1)])
+
+    def test_value_at_with_gap(self):
+        assert self.TL.value_at(1) == 1
+        assert self.TL.value_at(4, default="gap") == "gap"
+        assert self.TL.value_at(8) == 1
+
+    def test_span(self):
+        assert self.TL.span() == iv(0, 12)
+        assert Timeline().span() is None
+
+    def test_is_covering(self):
+        assert not self.TL.is_covering()
+        assert Timeline([(iv(0, 3), 1), (iv(3, 6), 2)]).is_covering()
+
+    def test_when(self):
+        assert self.TL.when(lambda v: v == 1) == [iv(0, 3), iv(8, 12)]
+        assert self.TL.when(lambda v: v > 5) == []
+
+
+class TestUnaryOps:
+    def test_map(self):
+        tl = Timeline([(iv(0, 2), 1), (iv(2, 4), 2)]).map(lambda v: v * 10)
+        assert tl.entries() == [(iv(0, 2), 10), (iv(2, 4), 20)]
+
+    def test_filter(self):
+        tl = Timeline([(iv(0, 2), 1), (iv(2, 4), 2)]).filter(lambda v: v > 1)
+        assert tl.entries() == [(iv(2, 4), 2)]
+
+    def test_clip(self):
+        tl = Timeline([(iv(0, 5), "a"), (iv(5, 10), "b")]).clip(iv(3, 7))
+        assert tl.entries() == [(iv(3, 5), "a"), (iv(5, 7), "b")]
+
+    def test_coalesced(self):
+        tl = Timeline([(iv(0, 2), 1), (iv(2, 5), 1), (iv(5, 7), 2)]).coalesced()
+        assert tl.entries() == [(iv(0, 5), 1), (iv(5, 7), 2)]
+
+    def test_coalesced_respects_gaps(self):
+        tl = Timeline([(iv(0, 2), 1), (iv(3, 5), 1)]).coalesced()
+        assert len(tl) == 2
+
+
+class TestBinaryOps:
+    def test_join(self):
+        a = Timeline([(iv(0, 6), 2)])
+        b = Timeline([(iv(3, 9), 10)])
+        joined = a.join(b, lambda x, y: x + y)
+        assert joined.entries() == [(iv(3, 6), 12)]
+
+    def test_join_empty_overlap(self):
+        a = Timeline([(iv(0, 3), 1)])
+        b = Timeline([(iv(5, 9), 2)])
+        assert len(a.join(b, lambda x, y: x + y)) == 0
+
+
+class TestAlignAggregate:
+    def test_align(self):
+        a = Timeline([(iv(0, 4), 1)])
+        b = Timeline([(iv(2, 6), 10)])
+        assert align([a, b]) == [
+            (iv(0, 2), [1]),
+            (iv(2, 4), [1, 10]),
+            (iv(4, 6), [10]),
+        ]
+
+    def test_aggregate_sum(self):
+        a = Timeline([(iv(0, 4), 1)])
+        b = Timeline([(iv(2, 6), 10)])
+        total = aggregate([a, b], sum)
+        assert total.entries() == [(iv(0, 2), 1), (iv(2, 4), 11), (iv(4, 6), 10)]
+
+    def test_aggregate_len_counts_presence(self):
+        a = Timeline([(iv(0, 4), "x")])
+        b = Timeline([(iv(0, 4), "y")])
+        c = Timeline([(iv(2, 8), "z")])
+        counts = aggregate([a, b, c], len)
+        assert counts.entries() == [(iv(0, 2), 2), (iv(2, 4), 3), (iv(4, 8), 1)]
+
+    def test_unbounded_entries(self):
+        a = Timeline([(Interval(3), 5)])
+        b = Timeline([(iv(0, 10), 1)])
+        total = aggregate([a, b], sum)
+        assert total.value_at(4) == 6
+        assert total.value_at(10**12) == 5

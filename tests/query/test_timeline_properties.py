@@ -1,0 +1,106 @@
+"""Property-based tests: algebraic laws of the timeline operations."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.interval import Interval
+from repro.query.timeline import Timeline, aggregate, align
+
+TIME = st.integers(min_value=0, max_value=30)
+
+
+@st.composite
+def timelines(draw):
+    """A random gappy timeline over [0, 40)."""
+    bounds = sorted(draw(st.sets(st.integers(min_value=0, max_value=40),
+                                 min_size=2, max_size=10)))
+    entries = []
+    for lo, hi in zip(bounds, bounds[1:]):
+        if draw(st.booleans()):
+            entries.append((Interval(lo, hi), draw(st.integers(min_value=0, max_value=5))))
+    return Timeline(entries)
+
+
+def pointwise(tl: Timeline, domain=range(45)):
+    return {t: tl.value_at(t) for t in domain if tl.value_at(t) is not None}
+
+
+@given(timelines())
+@settings(max_examples=200, deadline=None)
+def test_coalesced_preserves_pointwise(tl):
+    assert pointwise(tl.coalesced()) == pointwise(tl)
+
+
+@given(timelines())
+@settings(max_examples=200, deadline=None)
+def test_coalesced_is_idempotent_and_minimal(tl):
+    once = tl.coalesced()
+    assert once.coalesced().entries() == once.entries()
+    for (a, va), (b, vb) in zip(once.entries(), once.entries()[1:]):
+        assert not (a.end == b.start and va == vb)
+
+
+@given(timelines())
+@settings(max_examples=200, deadline=None)
+def test_map_pointwise(tl):
+    doubled = tl.map(lambda v: v * 2)
+    naive = {t: v * 2 for t, v in pointwise(tl).items()}
+    assert pointwise(doubled) == naive
+
+
+@given(timelines(), st.integers(min_value=0, max_value=35),
+       st.integers(min_value=1, max_value=20))
+@settings(max_examples=200, deadline=None)
+def test_clip_pointwise(tl, start, length):
+    window = Interval(start, start + length)
+    clipped = tl.clip(window)
+    for t in range(45):
+        expected = tl.value_at(t) if window.contains_point(t) else None
+        assert clipped.value_at(t) == expected
+
+
+@given(timelines())
+@settings(max_examples=200, deadline=None)
+def test_filter_pointwise(tl):
+    kept = tl.filter(lambda v: v % 2 == 0)
+    for t in range(45):
+        value = tl.value_at(t)
+        expected = value if value is not None and value % 2 == 0 else None
+        assert kept.value_at(t) == expected
+
+
+@given(timelines())
+@settings(max_examples=200, deadline=None)
+def test_when_matches_filter_coverage(tl):
+    intervals = tl.when(lambda v: v >= 3)
+    covered = {t for iv in intervals for t in iv.points()}
+    expected = {t for t, v in pointwise(tl).items() if v >= 3}
+    assert covered == expected
+
+
+@given(timelines(), timelines())
+@settings(max_examples=200, deadline=None)
+def test_join_pointwise(a, b):
+    joined = a.join(b, lambda x, y: x + y)
+    for t in range(45):
+        va, vb = a.value_at(t), b.value_at(t)
+        expected = va + vb if va is not None and vb is not None else None
+        assert joined.value_at(t) == expected
+
+
+@given(st.lists(timelines(), min_size=1, max_size=4))
+@settings(max_examples=150, deadline=None)
+def test_aggregate_sum_pointwise(many):
+    total = aggregate(many, sum)
+    for t in range(45):
+        values = [tl.value_at(t) for tl in many if tl.value_at(t) is not None]
+        expected = sum(values) if values else None
+        assert total.value_at(t) == expected
+
+
+@given(st.lists(timelines(), min_size=1, max_size=4))
+@settings(max_examples=150, deadline=None)
+def test_align_partitions_do_not_overlap(many):
+    pieces = align(many)
+    for (iv_a, _), (iv_b, _) in zip(pieces, pieces[1:]):
+        assert iv_a.end <= iv_b.start

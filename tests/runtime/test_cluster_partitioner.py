@@ -1,0 +1,137 @@
+"""Tests for the simulated cluster, partitioners and the cost model."""
+
+import pytest
+
+from repro.core.messages import message
+from repro.runtime.cluster import SimulatedCluster
+from repro.runtime.metrics import NetworkModel, RunMetrics
+from repro.runtime.partitioner import HashPartitioner, RangePartitioner
+
+
+class TestHashPartitioner:
+    def test_deterministic(self):
+        p1 = HashPartitioner(8)
+        p2 = HashPartitioner(8)
+        for vid in ["a", "b", 42, ("x", 3)]:
+            assert p1.worker_of(vid) == p2.worker_of(vid)
+
+    def test_range(self):
+        p = HashPartitioner(4)
+        assert all(0 <= p.worker_of(f"v{i}") < 4 for i in range(100))
+
+    def test_roughly_balanced(self):
+        p = HashPartitioner(4)
+        load = [0] * 4
+        for i in range(2000):
+            load[p.worker_of(f"v{i}")] += 1
+        assert min(load) > 300
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(0)
+
+
+class TestRangePartitioner:
+    def test_contiguous_assignment(self):
+        p = RangePartitioner(3, [f"v{i:03d}" for i in range(9)])
+        assert p.worker_of("v000") == 0
+        assert p.worker_of("v008") == 2
+
+    def test_unknown_vertex(self):
+        p = RangePartitioner(2, ["a"])
+        with pytest.raises(KeyError):
+            p.worker_of("zzz")
+
+
+class TestSimulatedCluster:
+    def test_message_delivery_at_barrier(self):
+        cluster = SimulatedCluster(2)
+        metrics = RunMetrics()
+        inboxes = cluster.begin_superstep(1)
+        assert inboxes == {}  # nothing sent yet
+        cluster.send("a", "b", message(0, 1, 5), metrics)
+        assert cluster.has_pending_messages()
+        cluster.end_superstep(metrics, messaging_time=0.0)
+        inboxes = cluster.begin_superstep(2)
+        assert [m.value for m in inboxes["b"]] == [5]
+        # Delivered messages are consumed: next superstep starts empty.
+        cluster.end_superstep(metrics, messaging_time=0.0)
+        assert cluster.begin_superstep(3) == {}
+
+    def test_local_vs_remote_accounting(self):
+        cluster = SimulatedCluster(4)
+        metrics = RunMetrics()
+        cluster.begin_superstep(1)
+        vids = [f"v{i}" for i in range(40)]
+        for vid in vids:
+            cluster.send("v0", vid, message(0, 1, 1), metrics)
+        assert metrics.local_messages + metrics.remote_messages == 40
+        assert metrics.remote_messages > 0
+        home = cluster.worker_of("v0")
+        expected_local = sum(1 for v in vids if cluster.worker_of(v) == home)
+        assert metrics.local_messages == expected_local
+
+    def test_system_messages_counted_separately(self):
+        cluster = SimulatedCluster(2)
+        metrics = RunMetrics()
+        cluster.begin_superstep(1)
+        cluster.send("a", "b", message(0, 1, 1), metrics, system=True)
+        cluster.send("a", "b", message(0, 1, 1), metrics)
+        assert metrics.messages_sent == 1
+        assert metrics.system_messages == 1
+        assert metrics.total_messages == 2
+
+    def test_modeled_makespan_accumulates(self):
+        cluster = SimulatedCluster(2, network=NetworkModel(barrier_latency_s=0.01))
+        metrics = RunMetrics()
+        cluster.begin_superstep(1)
+        cluster.add_compute_time("a", 0.5)
+        cluster.end_superstep(metrics, messaging_time=0.0)
+        assert metrics.modeled_makespan >= 0.51
+        assert metrics.barrier_time == pytest.approx(0.01)
+
+    def test_worker_load(self):
+        cluster = SimulatedCluster(4)
+        load = cluster.worker_load([f"v{i}" for i in range(100)])
+        assert sum(load) == 100
+
+    def test_explicit_size_override(self):
+        cluster = SimulatedCluster(2)
+        metrics = RunMetrics()
+        cluster.begin_superstep(1)
+        cluster.send("a", "b", "opaque", metrics, size=17)
+        assert metrics.message_bytes == 17
+
+    def test_reset_clears_queues(self):
+        cluster = SimulatedCluster(2)
+        metrics = RunMetrics()
+        cluster.begin_superstep(1)
+        cluster.send("a", "b", message(0, 1, 1), metrics)
+        cluster.reset()
+        assert not cluster.has_pending_messages()
+
+
+class TestNetworkModel:
+    def test_transfer_time_scales_with_bytes(self):
+        net = NetworkModel(bandwidth_bytes_per_s=1000, per_message_overhead_s=0.0)
+        assert net.transfer_time(2000, 0) == pytest.approx(2.0)
+
+    def test_per_message_overhead(self):
+        net = NetworkModel(per_message_overhead_s=0.001)
+        assert net.transfer_time(0, 100) == pytest.approx(0.1)
+
+
+class TestMetricsMerge:
+    def test_merge_accumulates(self):
+        a = RunMetrics(compute_calls=5, messages_sent=3, makespan=1.0)
+        b = RunMetrics(compute_calls=2, messages_sent=4, makespan=0.5,
+                       peak_inflight_messages=9)
+        a.merge(b)
+        assert a.compute_calls == 7
+        assert a.messages_sent == 7
+        assert a.makespan == pytest.approx(1.5)
+        assert a.peak_inflight_messages == 9
+
+    def test_summary_string(self):
+        m = RunMetrics(platform="X", algorithm="Y", graph="Z")
+        assert "X/Y/Z" in m.summary()

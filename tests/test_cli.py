@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRun:
+    def test_run_default(self, capsys):
+        assert main(["run", "SSSP", "--dataset", "transit", "--scale", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "SSSP on transit" in out
+        assert "compute calls" in out
+        assert "modeled makespan" in out
+
+    def test_run_baseline_platform(self, capsys):
+        assert main(["run", "BFS", "--platform", "MSB",
+                     "--dataset", "gplus", "--scale", "0.3"]) == 0
+        assert "MSB" in capsys.readouterr().out
+
+    def test_bad_platform_for_algorithm(self):
+        with pytest.raises(ValueError):
+            main(["run", "BFS", "--platform", "TGB", "--dataset", "gplus",
+                  "--scale", "0.3"])
+
+
+class TestCompare:
+    def test_compare_td(self, capsys):
+        assert main(["compare", "EAT", "--dataset", "reddit", "--scale", "0.25"]) == 0
+        out = capsys.readouterr().out
+        for platform in ("GRAPHITE", "TGB", "GoFFish"):
+            assert platform in out
+
+    def test_compare_ti(self, capsys):
+        assert main(["compare", "WCC", "--dataset", "gplus", "--scale", "0.25"]) == 0
+        out = capsys.readouterr().out
+        for platform in ("GRAPHITE", "MSB", "Chlonos"):
+            assert platform in out
+
+
+class TestDatasetsAndConvert:
+    def test_datasets(self, capsys):
+        assert main(["datasets", "--scale", "0.25"]) == 0
+        out = capsys.readouterr().out
+        for name in ("transit", "gplus", "twitter", "webuk"):
+            assert name in out
+
+    def test_convert_roundtrip(self, tmp_path, capsys):
+        target = tmp_path / "graph.tg"
+        assert main(["convert", str(target), "--dataset", "transit"]) == 0
+        from repro.graph.io import load_graph
+
+        graph = load_graph(target)
+        assert graph.num_vertices == 6
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])
+
+
+class TestJourneys:
+    def test_journeys_transit(self, capsys):
+        assert main(["journeys", "A", "E", "--dataset", "transit", "--by", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "A --dep" in out and "E (arr" in out
+
+    def test_no_journey(self, capsys):
+        assert main(["journeys", "A", "F", "--dataset", "transit"]) == 1
+        assert "no time-respecting journey" in capsys.readouterr().out
+
+    def test_unknown_vertex(self, capsys):
+        assert main(["journeys", "A", "ZZZ", "--dataset", "transit"]) == 2
+
+
+class TestTrace:
+    def test_trace_transit(self, capsys):
+        assert main(["trace", "SSSP", "--dataset", "transit"]) == 0
+        out = capsys.readouterr().out
+        assert "=== superstep 1 ===" in out
+        assert "scatter" in out and "send" in out
+
+    def test_trace_restricted_vertices(self, capsys):
+        assert main(["trace", "SSSP", "--dataset", "transit",
+                     "--vertices", "E"]) == 0
+        out = capsys.readouterr().out
+        assert "compute 'E'" in out
+        assert "compute 'B'" not in out
