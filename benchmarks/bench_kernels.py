@@ -1,0 +1,336 @@
+#!/usr/bin/env python
+"""Kernel micro-benchmarks with a persisted perf-regression gate.
+
+Times the engine's four hot kernels on synthetic workloads —
+
+* **warp**        — ``time_warp`` over 10k messages (plain and combiner),
+                    against the retained per-partition reference sweep;
+* **state**       — ``PartitionedState.set_many`` bulk updates, against
+                    sequential ``set()`` calls;
+* **scatter**     — ``merge_join_partitioned`` slice×piece pairing, against
+                    the nested-intersection reference;
+* **encode**      — message codec round-trip (no reference; tracked as
+                    time normalised by a pure-Python calibration loop so
+                    the number is comparable across machines).
+
+Results are written to ``BENCH_kernels.json`` at the repository root: a
+committed **baseline** plus a bounded run **history**, so the repo carries
+its own perf trajectory.  On every run the script compares against the
+baseline and **fails loudly (exit 1) on a >20% regression**.  Speedup-based
+metrics (optimised vs reference implementation) are hardware-independent,
+which is what makes the gate meaningful on CI machines that never produced
+the baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py            # full gate
+    PYTHONPATH=src python benchmarks/bench_kernels.py --smoke    # CI-sized
+    PYTHONPATH=src python benchmarks/bench_kernels.py --update-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT))  # for tests.core._reference_impls
+
+from repro.core.interval import Interval  # noqa: E402
+from repro.core.messages import IntervalMessage  # noqa: E402
+from repro.core.state import PartitionedState  # noqa: E402
+from repro.core.warp import merge_join_partitioned, time_warp  # noqa: E402
+from repro.runtime.encoding import decode_message, encode_message  # noqa: E402
+
+from tests.core._reference_impls import (  # noqa: E402
+    reference_join_partitioned,
+    reference_set_sequence,
+    reference_time_warp,
+)
+
+RESULTS_PATH = REPO_ROOT / "BENCH_kernels.json"
+# Fail on regression vs the baseline: 20% in full mode; smoke runs are
+# short and live on noisy shared CI runners, so they get a wider band —
+# the smoke gate is a sanity check, the full gate is the contract.
+REGRESSION_TOLERANCE = {"full": 0.20, "smoke": 0.50}
+HISTORY_LIMIT = 50
+SPEEDUP_FLOOR = {"warp_10k": 3.0}  # the paper-path acceptance bar
+
+SIZES = {
+    "full": dict(
+        warp_messages=10_000, warp_partitions=64, warp_span=20_000,
+        state_updates=5_000, state_span=20_000,
+        scatter_slices=512, scatter_pieces=256, scatter_span=8_192,
+        encode_messages=20_000, repeats=3,
+    ),
+    "smoke": dict(
+        warp_messages=3_000, warp_partitions=48, warp_span=3_000,
+        state_updates=1_000, state_span=4_000,
+        scatter_slices=128, scatter_pieces=64, scatter_span=2_048,
+        encode_messages=4_000, repeats=3,
+    ),
+}
+
+
+def best_of(fn, repeats: int) -> float:
+    """Minimum wall-clock over ``repeats`` runs (noise-robust)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def calibration_seconds() -> float:
+    """A fixed pure-Python workload; normalising by it makes absolute
+    timings roughly comparable across machines and interpreters."""
+    def loop():
+        acc = 0
+        for i in range(2_000_00):
+            acc += i % 7
+        return acc
+    return best_of(loop, 3)
+
+
+# -- synthetic workloads -------------------------------------------------------
+
+
+def make_partitions(rng, n, span):
+    bounds = sorted(rng.sample(range(1, span), n - 1))
+    cuts = [0, *bounds, span]
+    return [
+        (Interval(lo, hi), i % 5)
+        for i, (lo, hi) in enumerate(zip(cuts, cuts[1:]))
+    ]
+
+
+def make_messages(rng, m, span, max_len=60):
+    out = []
+    for _ in range(m):
+        start = rng.randrange(span)
+        out.append((Interval(start, start + rng.randint(1, max_len)), rng.randrange(100)))
+    return out
+
+
+def make_updates(rng, u, span, max_len=12):
+    out = []
+    for _ in range(u):
+        start = rng.randrange(span - max_len)
+        out.append((Interval(start, start + rng.randint(1, max_len)), rng.randrange(8)))
+    return out
+
+
+# -- kernels -------------------------------------------------------------------
+
+
+def bench_warp(sizes, repeats):
+    rng = random.Random(0xC0FFEE)
+    outer = make_partitions(rng, sizes["warp_partitions"], sizes["warp_span"])
+    inner = make_messages(rng, sizes["warp_messages"], sizes["warp_span"] - 100)
+    sanity_new = time_warp(outer, inner)
+    sanity_ref = reference_time_warp(outer, inner)
+    assert sanity_new == sanity_ref, "warp kernel diverged from its oracle"
+    opt = best_of(lambda: time_warp(outer, inner), repeats)
+    ref = best_of(lambda: reference_time_warp(outer, inner), repeats)
+    return {"opt_s": opt, "ref_s": ref, "speedup": ref / opt}
+
+
+def bench_warp_combine(sizes, repeats):
+    rng = random.Random(0xBEEF)
+    outer = make_partitions(rng, sizes["warp_partitions"], sizes["warp_span"])
+    inner = make_messages(rng, sizes["warp_messages"], sizes["warp_span"] - 100)
+    assert time_warp(outer, inner, min) == reference_time_warp(outer, inner, min)
+    opt = best_of(lambda: time_warp(outer, inner, min), repeats)
+    ref = best_of(lambda: reference_time_warp(outer, inner, min), repeats)
+    return {"opt_s": opt, "ref_s": ref, "speedup": ref / opt}
+
+
+def bench_state(sizes, repeats):
+    rng = random.Random(0xDEAD)
+    span = sizes["state_span"]
+    updates = make_updates(rng, sizes["state_updates"], span)
+
+    def bulk():
+        state = PartitionedState(Interval(0, span), 0)
+        state.set_many(updates)
+        return state
+
+    def sequential():
+        state = PartitionedState(Interval(0, span), 0)
+        reference_set_sequence(state, updates)
+        return state
+
+    from repro.core.state import states_equal_pointwise
+    assert states_equal_pointwise(bulk(), sequential()), (
+        "bulk state kernel diverged from sequential sets"
+    )
+    opt = best_of(bulk, repeats)
+    ref = best_of(sequential, repeats)
+    return {"opt_s": opt, "ref_s": ref, "speedup": ref / opt}
+
+
+def bench_scatter(sizes, repeats):
+    rng = random.Random(0xF00D)
+    span = sizes["scatter_span"]
+    slices = make_partitions(rng, sizes["scatter_slices"], span)
+    pieces = make_partitions(rng, sizes["scatter_pieces"], span)
+    assert set(merge_join_partitioned(slices, pieces)) == set(
+        reference_join_partitioned(slices, pieces)
+    )
+    opt = best_of(lambda: merge_join_partitioned(slices, pieces), repeats)
+    ref = best_of(lambda: reference_join_partitioned(slices, pieces), repeats)
+    return {"opt_s": opt, "ref_s": ref, "speedup": ref / opt}
+
+
+def bench_encode(sizes, repeats, calib):
+    rng = random.Random(0xFEED)
+    msgs = [
+        IntervalMessage(
+            Interval(t, t + rng.randint(1, 9)),
+            (rng.randrange(1000), f"v{t % 37}"),
+        )
+        for t in range(sizes["encode_messages"])
+    ]
+
+    def roundtrip():
+        for m in msgs:
+            decode_message(encode_message(m))
+
+    opt = best_of(roundtrip, repeats)
+    return {"opt_s": opt, "normalized": opt / calib}
+
+
+# -- gate ----------------------------------------------------------------------
+
+
+def gate_metric(kernel: str, result: dict) -> tuple[str, float, bool]:
+    """(metric name, value, higher_is_better) used for regression checks."""
+    if "speedup" in result:
+        return "speedup", result["speedup"], True
+    return "normalized", result["normalized"], False
+
+
+def check_regressions(results: dict, baseline: dict, mode: str) -> list[str]:
+    failures = []
+    tolerance = REGRESSION_TOLERANCE[mode]
+    for kernel, result in results.items():
+        metric, value, higher_better = gate_metric(kernel, result)
+        floor = SPEEDUP_FLOOR.get(kernel)
+        if floor is not None and metric == "speedup" and mode == "full" and value < floor:
+            failures.append(
+                f"{kernel}: speedup {value:.2f}x below the {floor:.1f}x acceptance floor"
+            )
+        base = baseline.get(kernel)
+        if not base or metric not in base:
+            continue
+        ref = base[metric]
+        pct = int(tolerance * 100)
+        if higher_better:
+            limit = ref * (1.0 - tolerance)
+            if value < limit:
+                failures.append(
+                    f"{kernel}: {metric} {value:.2f} regressed >{pct}% vs baseline "
+                    f"{ref:.2f} (limit {limit:.2f})"
+                )
+        else:
+            limit = ref * (1.0 + tolerance)
+            if value > limit:
+                failures.append(
+                    f"{kernel}: {metric} {value:.3f} regressed >{pct}% vs baseline "
+                    f"{ref:.3f} (limit {limit:.3f})"
+                )
+    return failures
+
+
+def load_store() -> dict:
+    if RESULTS_PATH.exists():
+        try:
+            return json.loads(RESULTS_PATH.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            print(f"warning: {RESULTS_PATH} is corrupt; starting fresh", file=sys.stderr)
+    return {"schema": 1, "baseline": {}, "history": []}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized workloads (single repeat)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="record this run as the new baseline for its mode")
+    parser.add_argument("--no-write", action="store_true",
+                        help="measure and gate only; leave BENCH_kernels.json alone")
+    args = parser.parse_args(argv)
+    mode = "smoke" if args.smoke else "full"
+    sizes = SIZES[mode]
+    repeats = sizes["repeats"]
+
+    print(f"bench_kernels [{mode}] — warp/state/scatter/encode")
+    calib = calibration_seconds()
+    print(f"  calibration loop: {calib * 1e3:8.2f} ms")
+
+    results = {}
+    for name, fn in (
+        ("warp_10k", lambda: bench_warp(sizes, repeats)),
+        ("warp_combine_10k", lambda: bench_warp_combine(sizes, repeats)),
+        ("state_bulk_update", lambda: bench_state(sizes, repeats)),
+        ("scatter_merge_join", lambda: bench_scatter(sizes, repeats)),
+        ("encode_roundtrip", lambda: bench_encode(sizes, repeats, calib)),
+    ):
+        result = fn()
+        results[name] = result
+        if "speedup" in result:
+            print(
+                f"  {name:20s} opt {result['opt_s'] * 1e3:8.2f} ms   "
+                f"ref {result['ref_s'] * 1e3:9.2f} ms   "
+                f"speedup {result['speedup']:6.2f}x"
+            )
+        else:
+            print(
+                f"  {name:20s} opt {result['opt_s'] * 1e3:8.2f} ms   "
+                f"normalized {result['normalized']:.3f}"
+            )
+
+    store = load_store()
+    baseline = store.get("baseline", {}).get(mode, {})
+    failures = [] if args.update_baseline else check_regressions(results, baseline, mode)
+
+    if not args.no_write:
+        store.setdefault("baseline", {})
+        if args.update_baseline or not store["baseline"].get(mode):
+            store["baseline"][mode] = results
+            print(f"  baseline[{mode}] {'updated' if args.update_baseline else 'recorded'}")
+        store.setdefault("history", []).append(
+            {
+                "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+                "mode": mode,
+                "python": ".".join(map(str, sys.version_info[:3])),
+                "results": results,
+                "calibration_s": calib,
+            }
+        )
+        store["history"] = store["history"][-HISTORY_LIMIT:]
+        RESULTS_PATH.write_text(
+            json.dumps(store, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"  wrote {RESULTS_PATH.relative_to(REPO_ROOT)}")
+
+    if failures:
+        print("\nPERF REGRESSION GATE FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  ✗ {failure}", file=sys.stderr)
+        return 1
+    print(f"  gate: ok (tolerance ±{int(REGRESSION_TOLERANCE[mode] * 100)}% vs committed baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,7 @@ message traffic, and varint message encoding (in the simulated transport).
 from __future__ import annotations
 
 import time
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional
 
@@ -35,7 +36,7 @@ from .interval import Interval, coalesce
 from .messages import IntervalMessage, unit_message_fraction
 from .program import IntervalProgram
 from .state import PartitionedState
-from .warp import time_warp
+from .warp import merge_join_partitioned, time_warp
 
 
 class IcmProgramError(RuntimeError):
@@ -71,6 +72,52 @@ class IcmResult:
 
     def value_at(self, vid: Any, t: int) -> Any:
         return self.states[vid].value_at(t)
+
+
+class _EdgePieceIndex:
+    """Per-edge scatter index: the property-constant pieces of one out-edge,
+    computed once over the full lifespan and sliced per window by bisection.
+
+    ``TemporalEdge.pieces(window)`` re-derives the property boundaries and
+    rebuilds :class:`~repro.graph.model.EdgePiece` objects on every call;
+    across supersteps the same edges are re-sliced constantly, so the engine
+    indexes each vertex's out-edges the first time it scatters and reuses
+    the piece tables (including their shared, read-only values dicts) for
+    the rest of the run.
+    """
+
+    __slots__ = ("edge", "dst", "lifespan", "_starts", "_pieces")
+
+    def __init__(self, edge):
+        self.edge = edge
+        self.dst = edge.dst
+        self.lifespan = edge.lifespan
+        full = edge.pieces(edge.lifespan)
+        self._starts = [iv.start for iv, _ in full]
+        self._pieces = full
+
+    def pieces(self, window: Interval) -> list[tuple[Interval, Any]]:
+        """``(clipped_interval, EdgePiece)`` pairs overlapping ``window``."""
+        clipped = self.lifespan.intersect(window)
+        if clipped is None:
+            return []
+        if clipped == self.lifespan and len(self._pieces) == 1:
+            return self._pieces
+        idx = bisect_right(self._starts, clipped.start) - 1
+        if idx < 0:
+            idx = 0
+        out = []
+        pieces = self._pieces
+        hi = clipped.end
+        while idx < len(pieces):
+            iv, piece = pieces[idx]
+            if iv.start >= hi:
+                break
+            common = iv.intersect(clipped)
+            if common is not None:
+                out.append((common, piece))
+            idx += 1
+        return out
 
 
 class IntervalCentricEngine:
@@ -140,6 +187,9 @@ class IntervalCentricEngine:
         self._next_aggregates: dict[str, Any] = {}
         self._aggregator_fns = program.aggregators()
         self._metrics: Optional[RunMetrics] = None
+        #: vid → scatter indexes of its out-edges, built on first scatter
+        #: and reused across supersteps (the graph is immutable per run).
+        self._edge_index: dict[Any, list[_EdgePieceIndex]] = {}
 
     def send_direct(self, src_vid: Any, dst_vid: Any, interval: Interval, value: Any) -> None:
         """Direct (non-edge) messaging service backing ``ctx.send``."""
@@ -205,9 +255,7 @@ class IntervalCentricEngine:
             else:
                 state = PartitionedState(v.lifespan, None, coalesce=self.coalesce_states)
                 if self.prepartition_by_vertex_properties:
-                    for boundary in v.properties.boundaries():
-                        if v.lifespan.start < boundary < v.lifespan.end:
-                            state._split_at(boundary)
+                    state.presplit(v.properties.boundaries())
                 fresh.add(v.vid)
             contexts[v.vid] = VertexContext(v, state, self)
         metrics.load_time = time.perf_counter() - t_load
@@ -332,7 +380,7 @@ class IntervalCentricEngine:
                 messages = combiner.combine_dominated(messages)
             metrics.combiner_reductions += before - len(messages)
 
-        if self._should_suppress_warp(messages):
+        if self._should_suppress_warp(messages, ctx.lifespan):
             metrics.warp_suppressed_vertices += 1
             cost += self._compute_time_point(ctx, messages, metrics)
             covered = coalesce(
@@ -397,22 +445,50 @@ class IntervalCentricEngine:
         ctx._end()
         return cost
 
-    def _should_suppress_warp(self, messages: list[IntervalMessage]) -> bool:
+    def _should_suppress_warp(
+        self, messages: list[IntervalMessage], lifespan: Interval
+    ) -> bool:
+        """Decide whether to skip warp for time-point execution.
+
+        Only the portion of each message inside the vertex lifespan counts:
+        traffic entirely (or mostly) outside it never reaches a compute call
+        on either path, so letting it vote on the unit fraction or fill the
+        expansion cap would flip vertices onto the wrong path for free.
+        """
         if not self.enable_warp_suppression or not messages:
             return False
-        if unit_message_fraction(messages) < self.warp_suppression_threshold:
+        units = 0
+        live = 0
+        clipped_lengths: list[int] = []
+        for msg in messages:
+            clipped = msg.interval.intersect(lifespan)
+            if clipped is None:
+                continue  # dead traffic: no compute call on any path
+            if clipped.is_unbounded:
+                return False
+            live += 1
+            if clipped.is_unit:
+                units += 1
+            clipped_lengths.append(clipped.length)
+        if not live or units / live < self.warp_suppression_threshold:
             return False
         total_points = 0
-        cap = self.suppression_expansion_cap * len(messages)
-        for msg in messages:
-            if msg.interval.is_unbounded:
-                return False
-            total_points += msg.interval.length
+        cap = self.suppression_expansion_cap * live
+        for length in clipped_lengths:
+            total_points += length
             if total_points > cap:
                 return False
         return True
 
     # -- scatter ---------------------------------------------------------------
+
+    def _edge_pieces_of(self, vid: Any) -> list[_EdgePieceIndex]:
+        """The vertex's out-edge scatter indexes, built once per run."""
+        indexed = self._edge_index.get(vid)
+        if indexed is None:
+            indexed = [_EdgePieceIndex(e) for e in self.graph.out_edges(vid)]
+            self._edge_index[vid] = indexed
+        return indexed
 
     def _scatter_updates(self, ctx: VertexContext, metrics: RunMetrics) -> float:
         updated = ctx._take_updates()
@@ -422,39 +498,45 @@ class IntervalCentricEngine:
         model = self.cluster.compute_model
         cost = 0.0
         vid = ctx.vertex_id
-        out_edges = self.graph.out_edges(vid)
+        out_edges = self._edge_pieces_of(vid)
         if not out_edges:
             return 0.0
         outbox: dict[Any, list[IntervalMessage]] = {}
         for window in updated:
+            # Both the state slices and each edge's pieces are partitioned
+            # covers of (their part of) the window, so pairing them is a
+            # linear merge-join by interval order — no slices × pieces
+            # re-intersection.
             slices = ctx.state.slices(window)
-            for edge in out_edges:
-                if not edge.lifespan.overlaps(window):
+            if not slices:
+                continue
+            for indexed in out_edges:
+                if not indexed.lifespan.overlaps(window):
                     continue
-                for piece_iv, piece in edge.pieces(window):
-                    for s_iv, s_val in slices:
-                        common = s_iv.intersect(piece_iv)
-                        if common is None:
-                            continue
-                        edge_ctx = EdgeContext(edge, common, piece.values)
-                        ctx._begin("scatter", common)
-                        if self.tracer is not None:
-                            self.tracer.on_scatter(
-                                self.superstep, vid, edge.eid, common, s_val
-                            )
-                        try:
-                            result = program.scatter(ctx, edge_ctx, common, s_val)
-                        except IcmProgramError:
-                            raise
-                        except Exception as exc:
-                            raise IcmProgramError(
-                                "scatter", vid, self.superstep, common, exc
-                            ) from exc
-                        ctx._end()
-                        metrics.scatter_calls += 1
-                        cost += model.per_scatter_call_s
-                        for msg in _normalise_scatter(result):
-                            outbox.setdefault(edge.dst, []).append(msg)
+                pieces = indexed.pieces(window)
+                if not pieces:
+                    continue
+                edge = indexed.edge
+                for common, s_val, piece in merge_join_partitioned(slices, pieces):
+                    edge_ctx = EdgeContext(edge, common, piece.values)
+                    ctx._begin("scatter", common)
+                    if self.tracer is not None:
+                        self.tracer.on_scatter(
+                            self.superstep, vid, edge.eid, common, s_val
+                        )
+                    try:
+                        result = program.scatter(ctx, edge_ctx, common, s_val)
+                    except IcmProgramError:
+                        raise
+                    except Exception as exc:
+                        raise IcmProgramError(
+                            "scatter", vid, self.superstep, common, exc
+                        ) from exc
+                    ctx._end()
+                    metrics.scatter_calls += 1
+                    cost += model.per_scatter_call_s
+                    for msg in _normalise_scatter(result):
+                        outbox.setdefault(edge.dst, []).append(msg)
         combiner = program.combiner
         selective = combiner is not None and combiner.selective
         for dst, msgs in outbox.items():

@@ -85,6 +85,17 @@ class Interval:
         """The whole time domain ``[0, FOREVER)``."""
         return cls(0, FOREVER)
 
+    @classmethod
+    def _unchecked(cls, start: int, end: int) -> "Interval":
+        """Construct without validation.  For hot paths (the warp sweep,
+        the scatter merge-join) whose loop invariants already guarantee
+        ``0 <= start < end`` over ints; everything else must use the
+        validating constructor."""
+        iv = object.__new__(cls)
+        object.__setattr__(iv, "start", start)
+        object.__setattr__(iv, "end", end)
+        return iv
+
     # -- basic queries -----------------------------------------------------
 
     @property

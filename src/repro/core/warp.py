@@ -19,14 +19,19 @@ interval messages), it emits boundary-aligned triples
    equal message group are merged, so the downstream user logic is invoked
    the minimal number of times.
 
-The implementation is a plane sweep over interval boundaries, the in-memory
-analogue of the merge-sort temporal aggregation the paper cites (Moon et al.,
-ICDE 2000): ``O((n + m) log(n + m) + k)`` for ``n`` states, ``m`` messages
-and output size ``k``.
+The implementation is a *single* plane sweep over the global boundary set of
+both inputs, the in-memory analogue of the merge-sort temporal aggregation
+the paper cites (Moon et al., ICDE 2000).  The active message set is kept in
+an insertion-ordered map with an end-ordered expiry heap, so no partition
+ever rescans messages that cannot overlap it, and maximal merging happens
+on the fly: ``O((n + m) log(n + m) + k)`` for ``n`` states, ``m`` messages
+and output size ``k`` — with no per-partition re-filtering.
 """
 
 from __future__ import annotations
 
+from collections import Counter
+from heapq import heappop, heappush
 from typing import Any, Callable, Iterable, Optional, Sequence
 
 from .interval import Interval
@@ -38,6 +43,8 @@ IntervalValue = tuple[Interval, Any]
 #: Output triple of :func:`time_warp`.
 WarpTriple = tuple[Interval, Any, list[Any]]
 
+_SENTINEL = object()
+
 
 def time_join(
     outer: Sequence[IntervalValue], inner: Sequence[IntervalValue]
@@ -45,24 +52,38 @@ def time_join(
     """Valid-time natural join: one output triple per overlapping pair.
 
     Output triples carry the intersection interval and both values, ordered
-    by outer-interval position.  Neither input needs to be partitioned, but
-    both are treated as sets of independent interval-values.
+    by outer-interval position (inner values in start order within each
+    outer).  Neither input needs to be partitioned, but both are treated as
+    sets of independent interval-values.
+
+    Inner items are admitted once in start order and retired through an
+    end-ordered heap, so the per-outer work is proportional to the number
+    of *live* inner items, never the admitted total.
     """
     out: list[tuple[Interval, Any, Any]] = []
     outer_sorted = sorted(outer, key=_start_key)
     inner_sorted = sorted(inner, key=_start_key)
-    active: list[IntervalValue] = []
+    n_inner = len(inner_sorted)
+    #: seq → (interval, value); insertion order is admission (start) order.
+    active: dict[int, IntervalValue] = {}
+    ends: list[tuple[int, int]] = []  # (end, seq) expiry heap
     idx = 0
+    seq = 0
     for o_iv, o_val in outer_sorted:
         # Admit inner items that start before this outer item ends.
-        while idx < len(inner_sorted) and inner_sorted[idx][0].start < o_iv.end:
-            active.append(inner_sorted[idx])
+        while idx < n_inner and inner_sorted[idx][0].start < o_iv.end:
+            item = inner_sorted[idx]
             idx += 1
-        # Retire inner items that can no longer overlap any later outer item
-        # (outer items are sorted by start, so ends <= o_iv.start are dead).
-        if active:
-            active = [item for item in active if item[0].end > o_iv.start]
-        for m_iv, m_val in active:
+            # Outer items are sorted by start: an inner item already over
+            # can never overlap this or any later outer item.
+            if item[0].end > o_iv.start:
+                active[seq] = item
+                heappush(ends, (item[0].end, seq))
+                seq += 1
+        # Retire inner items that can no longer overlap any later outer.
+        while ends and ends[0][0] <= o_iv.start:
+            del active[heappop(ends)[1]]
+        for m_iv, m_val in active.values():
             common = o_iv.intersect(m_iv)
             if common is not None:
                 out.append((common, o_val, m_val))
@@ -98,20 +119,163 @@ def time_warp(
     """
     if not outer or not inner:
         return []
-    triples: list[WarpTriple] = []
+    outer_sorted = sorted(outer, key=_start_key)
     inner_sorted = sorted(inner, key=_start_key)
-    idx = 0
-    active: list[IntervalValue] = []
-    for o_iv, o_val in sorted(outer, key=_start_key):
-        while idx < len(inner_sorted) and inner_sorted[idx][0].start < o_iv.end:
-            active.append(inner_sorted[idx])
-            idx += 1
-        if active:
-            active = [item for item in active if item[0].end > o_iv.start]
+
+    # Global boundary sweep: one sorted pass over every distinct start/end
+    # of both inputs.  Elementary segments lie between consecutive bounds.
+    bound_set: set[int] = set()
+    for iv, _ in outer_sorted:
+        bound_set.add(iv.start)
+        bound_set.add(iv.end)
+    for iv, _ in inner_sorted:
+        bound_set.add(iv.start)
+        bound_set.add(iv.end)
+    bounds = sorted(bound_set)
+
+    n_inner = len(inner_sorted)
+    n_outer = len(outer_sorted)
+    # Column projections: the admission/retirement loops below run once per
+    # elementary segment, so pulling the interval fields out of the tuples
+    # up front trades one linear pass for tens of thousands of attribute
+    # lookups in the hot loop.
+    inner_starts = [item[0].start for item in inner_sorted]
+    inner_ends = [item[0].end for item in inner_sorted]
+    inner_vals = [item[1] for item in inner_sorted]
+    outer_end_col = [item[0].end for item in outer_sorted]
+    #: seq → value of a live message; insertion order is start order, which
+    #: keeps emitted group order identical to the historical per-partition
+    #: implementation.
+    active: dict[int, Any] = {}
+    ends: list[tuple[int, int]] = []  # (end, seq) expiry heap
+    i_idx = 0
+    o_idx = 0
+    seq = 0
+    push = heappush
+    pop = heappop
+
+    triples: list[WarpTriple] = []
+    mk_interval = Interval._unchecked  # loop guarantees 0 <= lo < hi
+    # Current-segment caches, rebuilt only when the active set has changed
+    # since they were last computed ("dirty"), even across skipped gaps.
+    cur_group: Optional[list[Any]] = None
+    folded: Any = _SENTINEL
+    fold_count = 0
+    dirty = True
+    # Incremental multiset signature of the active values: a commutative
+    # hash sum maintained per admit/retire.  Unequal signatures prove the
+    # groups differ, skipping the full multiset compare in the (common)
+    # dense case where every segment's group is new.  Values must hash
+    # consistently for this to be sound (equal values → equal hashes, the
+    # Python contract); unhashable values disable the shortcut.
+    sig_ok = True
+    cur_sig = 0
+    run_sig = 0
+    # Bookkeeping for on-the-fly maximal merging.  The pending maximal run
+    # is held in ``run_*`` and flushed as a triple only when it breaks, so
+    # Interval objects are built once per *output* triple, not once per
+    # elementary segment.  ``stable_since_emit`` is the cheap merge path:
+    # when the active set has not changed since the last emitted segment,
+    # the groups are identical by construction and no compare is needed.
+    stable_since_emit = False
+    run_start = -1  # -1 → no pending run
+    run_hi = -1
+    run_val: Any = _SENTINEL
+    run_group: Optional[list[Any]] = None
+    last_fold: Any = _SENTINEL
+    last_count = -1
+
+    for k in range(len(bounds) - 1):
+        lo = bounds[k]
+        # Admit messages starting at this boundary (every message start is
+        # itself a boundary, so admission is exact).
+        while i_idx < n_inner and inner_starts[i_idx] <= lo:
+            m_end = inner_ends[i_idx]
+            if m_end > lo:
+                val = inner_vals[i_idx]
+                active[seq] = val
+                push(ends, (m_end, seq))
+                seq += 1
+                dirty = True
+                stable_since_emit = False
+                if sig_ok:
+                    try:
+                        cur_sig += hash(val)
+                    except TypeError:
+                        sig_ok = False
+            i_idx += 1
+        # Retire messages that ended at or before this boundary.
+        while ends and ends[0][0] <= lo:
+            gone = pop(ends)[1]
+            if sig_ok:
+                cur_sig -= hash(active[gone])
+            del active[gone]
+            dirty = True
+            stable_since_emit = False
         if not active:
             continue
-        _warp_one_partition(o_iv, o_val, active, combine, triples)
-    return _merge_maximal(triples, combined=combine is not None)
+        # Advance to the outer partition covering lo (partitions are
+        # non-overlapping and sorted, so this pointer only moves forward).
+        while o_idx < n_outer and outer_end_col[o_idx] <= lo:
+            o_idx += 1
+        if o_idx >= n_outer:
+            break
+        o_iv, o_val = outer_sorted[o_idx]
+        if o_iv.start > lo:
+            continue  # gap between outer partitions
+        hi = bounds[k + 1]
+
+        contiguous = run_hi == lo and _values_equal(run_val, o_val)
+        if combine is None:
+            if dirty or cur_group is None:
+                cur_group = list(active.values())
+                dirty = False
+            if contiguous and (
+                stable_since_emit
+                or (
+                    (not sig_ok or cur_sig == run_sig)
+                    and _groups_equal(run_group, cur_group)
+                )
+            ):
+                run_hi = hi
+            else:
+                if run_start >= 0:
+                    triples.append(
+                        (mk_interval(run_start, run_hi), run_val, run_group)
+                    )
+                run_start = lo
+                run_hi = hi
+                run_val = o_val
+                run_group = cur_group
+        else:
+            if dirty or folded is _SENTINEL:
+                folded = _SENTINEL
+                fold_count = 0
+                for val in active.values():
+                    folded = val if folded is _SENTINEL else combine(folded, val)
+                    fold_count += 1
+                dirty = False
+            if contiguous and (
+                stable_since_emit
+                or (last_count == fold_count and _values_equal(last_fold, folded))
+            ):
+                run_hi = hi
+            else:
+                if run_start >= 0:
+                    triples.append(
+                        (mk_interval(run_start, run_hi), run_val, run_group)
+                    )
+                run_start = lo
+                run_hi = hi
+                run_val = o_val
+                run_group = [folded]
+                last_fold = folded
+                last_count = fold_count
+        run_sig = cur_sig
+        stable_since_emit = True
+    if run_start >= 0:
+        triples.append((mk_interval(run_start, run_hi), run_val, run_group))
+    return triples
 
 
 def warp_boundaries(
@@ -130,76 +294,46 @@ def warp_boundaries(
     return sorted(bounds)
 
 
+def merge_join_partitioned(
+    left: Sequence[IntervalValue], right: Sequence[IntervalValue]
+) -> list[tuple[Interval, Any, Any]]:
+    """Join two *temporally partitioned* interval-value lists.
+
+    Both inputs must be sorted and non-overlapping (each is a partitioned
+    cover, possibly with gaps).  Equivalent to :func:`time_join` on the same
+    inputs but a pure linear merge — no sorting, no active set — which is
+    what the engine's scatter phase needs when pairing updated state slices
+    with an edge's property-constant pieces.
+
+    Returns ``(intersection, left_value, right_value)`` triples in time
+    order.
+    """
+    out: list[tuple[Interval, Any, Any]] = []
+    li = 0
+    ri = 0
+    n_left = len(left)
+    n_right = len(right)
+    mk_interval = Interval._unchecked  # start < end checked inline below
+    while li < n_left and ri < n_right:
+        l_iv, l_val = left[li]
+        r_iv, r_val = right[ri]
+        start = l_iv.start if l_iv.start > r_iv.start else r_iv.start
+        end = l_iv.end if l_iv.end < r_iv.end else r_iv.end
+        if start < end:
+            out.append((mk_interval(start, end), l_val, r_val))
+        # Advance whichever side ends first; ties advance both.
+        if l_iv.end <= r_iv.end:
+            li += 1
+        if r_iv.end <= l_iv.end:
+            ri += 1
+    return out
+
+
 # -- internals --------------------------------------------------------------
 
 
 def _start_key(item: IntervalValue) -> tuple[int, int]:
     return item[0].start, item[0].end
-
-
-def _warp_one_partition(
-    o_iv: Interval,
-    o_val: Any,
-    candidates: list[IntervalValue],
-    combine: Optional[Callable[[Any, Any], Any]],
-    out: list[WarpTriple],
-) -> None:
-    """Emit elementary warp triples for one outer partition."""
-    overlapping = [item for item in candidates if item[0].overlaps(o_iv)]
-    if not overlapping:
-        return
-    bounds = warp_boundaries(o_iv, overlapping)
-    for lo, hi in zip(bounds, bounds[1:]):
-        if combine is None:
-            group = [val for iv, val in overlapping if iv.start <= lo < iv.end]
-            if group:
-                out.append((Interval(lo, hi), o_val, group))
-        else:
-            folded: Any = _SENTINEL
-            count = 0
-            for iv, val in overlapping:
-                if iv.start <= lo < iv.end:
-                    folded = val if folded is _SENTINEL else combine(folded, val)
-                    count += 1
-            if count:
-                out.append((Interval(lo, hi), o_val, [folded, count]))
-
-
-_SENTINEL = object()
-
-
-def _merge_maximal(triples: list[WarpTriple], *, combined: bool) -> list[WarpTriple]:
-    """Enforce the Maximal property: merge adjacent equal triples.
-
-    Two consecutive triples merge when their intervals meet, their outer
-    values compare equal, and their inner groups are equal — as multisets
-    of values on the plain path, and *positionally* on the combiner path,
-    whose groups are ``[folded_value, count]`` pairs (a multiset compare
-    would conflate e.g. fold 2/count 1 with fold 1/count 2).
-    """
-    if not triples:
-        return triples
-    if combined:
-        groups_equal = lambda a, b: (
-            len(a) == len(b) and all(_values_equal(x, y) for x, y in zip(a, b))
-        )
-    else:
-        groups_equal = _groups_equal
-    merged: list[WarpTriple] = [triples[0]]
-    for iv, s, group in triples[1:]:
-        last_iv, last_s, last_group = merged[-1]
-        if (
-            last_iv.end == iv.start
-            and _values_equal(last_s, s)
-            and groups_equal(last_group, group)
-        ):
-            merged[-1] = (Interval(last_iv.start, iv.end), last_s, last_group)
-        else:
-            merged.append((iv, s, group))
-    if combined:
-        # Strip the bookkeeping count; callers see a single folded value.
-        merged = [(iv, s, [g[0]]) for iv, s, g in merged]
-    return merged
 
 
 def _values_equal(a: Any, b: Any) -> bool:
@@ -212,9 +346,26 @@ def _values_equal(a: Any, b: Any) -> bool:
 
 
 def _groups_equal(a: list[Any], b: list[Any]) -> bool:
-    """Multiset equality over possibly unhashable values."""
+    """Multiset equality: hash when possible, sort when orderable, and the
+    quadratic pairwise match only as a last resort for values that are
+    neither hashable nor comparable."""
     if len(a) != len(b):
         return False
+    if a is b:
+        return True
+    try:
+        return Counter(a) == Counter(b)
+    except TypeError:
+        pass
+    try:
+        return sorted(a) == sorted(b)
+    except TypeError:
+        pass
+    return _groups_equal_quadratic(a, b)
+
+
+def _groups_equal_quadratic(a: list[Any], b: list[Any]) -> bool:
+    """O(n²) multiset equality over possibly unhashable, unorderable values."""
     remaining = list(b)
     for item in a:
         for j, other in enumerate(remaining):

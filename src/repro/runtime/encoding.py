@@ -142,7 +142,10 @@ def _encode_payload_into(value: Any, out: bytearray) -> None:
         out.append(_TAG_FALSE)
     elif isinstance(value, int):
         if value >= FOREVER:
+            # Cost sums like FOREVER + weight must round-trip exactly, so
+            # the excess over the sentinel rides along as a (small) varint.
             out.append(_TAG_BIG_INT)
+            out += encode_varint(value - FOREVER)
         elif value >= 0:
             out.append(_TAG_INT)
             out += encode_varint(value)
@@ -177,7 +180,8 @@ def decode_payload(buf: bytes, offset: int = 0) -> tuple[Any, int]:
     if tag == _TAG_FALSE:
         return False, offset
     if tag == _TAG_BIG_INT:
-        return FOREVER, offset
+        excess, offset = decode_varint(buf, offset)
+        return FOREVER + excess, offset
     if tag == _TAG_INT:
         return decode_varint(buf, offset)
     if tag == _TAG_NEG_INT:
@@ -200,22 +204,24 @@ def decode_payload(buf: bytes, offset: int = 0) -> tuple[Any, int]:
 
 def payload_size(value: Any, *, varint: bool = True) -> int:
     """Size of the encoded payload; fixed-width mode charges 8 bytes per
-    scalar, as a Java long/double would."""
+    scalar — and per length prefix — as a Java long/double layout would."""
     if value is None or isinstance(value, bool):
         return 1
     if isinstance(value, int):
         if not varint:
             return 1 + 8
         if value >= FOREVER:
-            return 1
+            return 1 + varint_size(value - FOREVER)
         return 1 + varint_size(abs(value))
     if isinstance(value, float):
         return 1 + 8
     if isinstance(value, str):
         raw_len = len(value.encode("utf-8"))
-        return 1 + varint_size(raw_len) + raw_len
+        len_size = varint_size(raw_len) if varint else 8
+        return 1 + len_size + raw_len
     if isinstance(value, (tuple, list)):
-        return 1 + varint_size(len(value)) + sum(
+        len_size = varint_size(len(value)) if varint else 8
+        return 1 + len_size + sum(
             payload_size(item, varint=varint) for item in value
         )
     raise TypeError(f"unsupported message payload type: {type(value).__name__}")

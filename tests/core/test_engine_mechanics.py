@@ -201,6 +201,8 @@ class TestStateUpdateGuards:
 
 
 class TestSuppressionHeuristics:
+    SPAN = Interval(0, 50)
+
     def make_engine(self, **kw):
         return IntervalCentricEngine(line_graph(), Flood(), **kw)
 
@@ -208,24 +210,59 @@ class TestSuppressionHeuristics:
         engine = self.make_engine(warp_suppression_threshold=0.5)
         unit = [message(t, t + 1, t) for t in range(4)]
         long = [message(0, 8, 9)]
-        assert engine._should_suppress_warp(unit)
-        assert not engine._should_suppress_warp(unit[:1] + long * 3)
+        assert engine._should_suppress_warp(unit, self.SPAN)
+        assert not engine._should_suppress_warp(unit[:1] + long * 3, self.SPAN)
 
     def test_unbounded_messages_never_suppressed(self):
         engine = self.make_engine()
         msgs = [message(t, t + 1, t) for t in range(9)]
         msgs.append(message(3, FOREVER, 1))
-        assert not engine._should_suppress_warp(msgs)
+        assert not engine._should_suppress_warp(msgs, Interval(0, FOREVER))
+
+    def test_unbounded_message_clipped_by_bounded_lifespan(self):
+        """A till-∞ message into a bounded-lifespan vertex expands to at
+        most the lifespan, so it no longer vetoes suppression outright."""
+        engine = self.make_engine()
+        msgs = [message(t, t + 1, t) for t in range(9)]
+        msgs.append(message(3, FOREVER, 1))
+        assert engine._should_suppress_warp(msgs, Interval(0, 10))
 
     def test_expansion_cap(self):
         engine = self.make_engine(suppression_expansion_cap=2)
         msgs = [message(t, t + 1, t) for t in range(8)] + [message(0, 40, 1)]
         # 8 units + one 40-long: expansion 48 > 2 * 9 → refuse.
-        assert not engine._should_suppress_warp(msgs)
+        assert not engine._should_suppress_warp(msgs, self.SPAN)
 
     def test_disabled(self):
         engine = self.make_engine(enable_warp_suppression=False)
-        assert not engine._should_suppress_warp([message(0, 1, 1)])
+        assert not engine._should_suppress_warp([message(0, 1, 1)], self.SPAN)
+
+    def test_dead_unit_traffic_cannot_force_suppression(self):
+        """Regression: unit messages entirely outside the lifespan used to
+        count toward the unit fraction, flipping vertices with genuinely
+        interval-shaped live traffic onto the time-point path."""
+        engine = self.make_engine()
+        lifespan = Interval(0, 10)
+        live = [message(0, 9, 5)]  # one long, warp-worthy message
+        dead = [message(20 + t, 21 + t, t) for t in range(9)]
+        assert not engine._should_suppress_warp(live + dead, lifespan)
+
+    def test_dead_long_traffic_cannot_veto_suppression(self):
+        """Regression: a long message outside the lifespan used to blow the
+        expansion cap for a vertex whose live traffic is all unit-length."""
+        engine = self.make_engine()
+        lifespan = Interval(0, 10)
+        live = [message(t, t + 1, t) for t in range(6)]
+        dead = [message(10, 45, 1)]
+        assert engine._should_suppress_warp(live + dead, lifespan)
+        # The live units alone obviously suppress; dead traffic must not
+        # change the verdict.
+        assert engine._should_suppress_warp(live, lifespan)
+
+    def test_all_dead_traffic_never_suppresses(self):
+        engine = self.make_engine()
+        msgs = [message(30 + t, 31 + t, t) for t in range(5)]
+        assert not engine._should_suppress_warp(msgs, Interval(0, 10))
 
 
 class TestVertexPropertyPrepartitioning:

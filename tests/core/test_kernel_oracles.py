@@ -1,0 +1,243 @@
+"""Oracle-equivalence tests for the single-pass sweep kernels.
+
+The optimised kernels (``time_warp``/``time_join`` global sweep, the
+engine's ``merge_join_partitioned`` scatter pairing, ``PartitionedState``'s
+bulk update path) must agree with the retained straightforward
+implementations in ``tests/core/_reference_impls.py`` — exactly, not just
+pointwise, wherever the output is canonical.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.interval import Interval
+from repro.core.state import PartitionedState, states_equal_pointwise
+from repro.core.warp import (
+    _groups_equal,
+    merge_join_partitioned,
+    time_join,
+    time_warp,
+)
+
+from ._reference_impls import (
+    _reference_groups_equal,
+    reference_join_partitioned,
+    reference_set_sequence,
+    reference_time_join,
+    reference_time_warp,
+)
+
+TIME = st.integers(min_value=0, max_value=40)
+
+
+@st.composite
+def partitioned_outer(draw, max_parts=8, distinct_values=4, gaps=False):
+    """A sorted, non-overlapping outer set; optionally with gaps."""
+    bounds = sorted(draw(st.sets(TIME, min_size=2, max_size=max_parts + 1)))
+    parts = []
+    for i, (lo, hi) in enumerate(zip(bounds, bounds[1:])):
+        if gaps and draw(st.booleans()):
+            continue
+        parts.append((Interval(lo, hi), draw(st.integers(0, distinct_values - 1))))
+    return parts
+
+
+@st.composite
+def inner_items(draw, max_items=10, distinct_values=4):
+    n = draw(st.integers(min_value=0, max_value=max_items))
+    items = []
+    for _ in range(n):
+        start = draw(TIME)
+        length = draw(st.integers(min_value=1, max_value=15))
+        items.append(
+            (Interval(start, start + length), draw(st.integers(0, distinct_values - 1)))
+        )
+    return items
+
+
+def canon_triples(triples):
+    """Triples with group order erased (groups compared as multisets)."""
+    return [(iv, s, sorted(g, key=repr)) for iv, s, g in triples]
+
+
+class TestWarpOracle:
+    @given(partitioned_outer(), inner_items())
+    @settings(max_examples=400, deadline=None)
+    def test_plain_warp_matches_reference_exactly(self, outer, inner):
+        assert time_warp(outer, inner) == reference_time_warp(outer, inner)
+
+    @given(partitioned_outer(gaps=True), inner_items())
+    @settings(max_examples=300, deadline=None)
+    def test_warp_with_gapped_outer_matches_reference(self, outer, inner):
+        assert time_warp(outer, inner) == reference_time_warp(outer, inner)
+
+    @given(partitioned_outer(), inner_items())
+    @settings(max_examples=300, deadline=None)
+    def test_combiner_warp_matches_reference_exactly(self, outer, inner):
+        got = time_warp(outer, inner, combine=min)
+        want = reference_time_warp(outer, inner, combine=min)
+        assert got == want
+
+    @given(partitioned_outer(), inner_items())
+    @settings(max_examples=200, deadline=None)
+    def test_sum_combiner_matches_reference(self, outer, inner):
+        """A fold whose result depends on every operand (not just the min)
+        exercises the incremental fold cache."""
+        combine = lambda a, b: a + b  # noqa: E731
+        got = time_warp(outer, inner, combine=combine)
+        want = reference_time_warp(outer, inner, combine=combine)
+        assert got == want
+
+    @given(partitioned_outer(max_parts=5), inner_items(max_items=6))
+    @settings(max_examples=200, deadline=None)
+    def test_unhashable_payloads_match_reference(self, outer, inner):
+        """Group merging must survive unhashable message values (lists)."""
+        inner_lists = [(iv, [v]) for iv, v in inner]
+        got = canon_triples(time_warp(outer, inner_lists))
+        want = canon_triples(reference_time_warp(outer, inner_lists))
+        assert got == want
+
+    @given(partitioned_outer(max_parts=5), inner_items(max_items=6))
+    @settings(max_examples=200, deadline=None)
+    def test_unhashable_unorderable_payloads_match_reference(self, outer, inner):
+        """The last-resort quadratic compare path: dict payloads are neither
+        hashable nor orderable."""
+        inner_dicts = [(iv, {"v": v}) for iv, v in inner]
+        got = canon_triples(time_warp(outer, inner_dicts))
+        want = canon_triples(reference_time_warp(outer, inner_dicts))
+        assert got == want
+
+
+class TestJoinOracle:
+    @given(partitioned_outer(gaps=True), inner_items())
+    @settings(max_examples=300, deadline=None)
+    def test_time_join_matches_reference_exactly(self, outer, inner):
+        assert time_join(outer, inner) == reference_time_join(outer, inner)
+
+    @given(inner_items(max_items=8), inner_items(max_items=8))
+    @settings(max_examples=300, deadline=None)
+    def test_time_join_unpartitioned_outer_matches_reference(self, outer, inner):
+        """time_join does not require a partitioned outer; arbitrary
+        overlapping outers must agree with the reference too."""
+        assert time_join(outer, inner) == reference_time_join(outer, inner)
+
+
+class TestScatterPairingOracle:
+    @given(partitioned_outer(gaps=True), partitioned_outer(gaps=True))
+    @settings(max_examples=300, deadline=None)
+    def test_merge_join_matches_nested_intersection(self, slices, pieces):
+        got = set(merge_join_partitioned(slices, pieces))
+        want = {
+            (iv, s, p)
+            for iv, s, p in reference_join_partitioned(slices, pieces)
+        }
+        assert got == want
+
+    @given(partitioned_outer(gaps=True), partitioned_outer(gaps=True))
+    @settings(max_examples=200, deadline=None)
+    def test_merge_join_is_time_ordered(self, slices, pieces):
+        out = merge_join_partitioned(slices, pieces)
+        starts = [iv.start for iv, _, _ in out]
+        assert starts == sorted(starts)
+
+    @given(partitioned_outer(gaps=True), partitioned_outer(gaps=True))
+    @settings(max_examples=200, deadline=None)
+    def test_merge_join_agrees_with_time_join(self, slices, pieces):
+        got = sorted(merge_join_partitioned(slices, pieces), key=repr)
+        want = sorted(time_join(slices, pieces), key=repr)
+        assert got == want
+
+
+@st.composite
+def update_batches(draw, span=40, max_updates=12):
+    n = draw(st.integers(min_value=0, max_value=max_updates))
+    updates = []
+    for _ in range(n):
+        start = draw(st.integers(min_value=0, max_value=span - 1))
+        length = draw(st.integers(min_value=1, max_value=span - start))
+        updates.append((Interval(start, start + length), draw(st.integers(0, 3))))
+    return updates
+
+
+class TestBulkStateOracle:
+    SPAN = 40
+
+    @given(update_batches(), update_batches(), st.booleans())
+    @settings(max_examples=400, deadline=None)
+    def test_set_many_matches_sequential_set(self, warmup, batch, coalesce):
+        lifespan = Interval(0, self.SPAN)
+        bulk = PartitionedState(lifespan, 0, coalesce=coalesce)
+        seq = PartitionedState(lifespan, 0, coalesce=coalesce)
+        # A warmup batch gives the states non-trivial prior partitions.
+        reference_set_sequence(bulk, warmup)
+        reference_set_sequence(seq, warmup)
+        bulk.set_many(batch)
+        reference_set_sequence(seq, batch)
+        bulk.check_invariants()
+        assert states_equal_pointwise(bulk, seq)
+        if coalesce:
+            # Coalescing keeps the partitioning canonical, so the bulk path
+            # must match the sequential structure exactly, not just
+            # pointwise.
+            assert bulk.partitions() == seq.partitions()
+
+    @given(update_batches(), st.integers(0, 30))
+    @settings(max_examples=200, deadline=None)
+    def test_update_applies_fn_to_pre_update_slices(self, warmup, start):
+        """``update`` now batches its writes through set_many; ``fn`` must
+        still observe the original values of every covered slice."""
+        lifespan = Interval(0, self.SPAN)
+        window = Interval(start, min(start + 10, self.SPAN))
+        bulk = PartitionedState(lifespan, 0)
+        seq = PartitionedState(lifespan, 0)
+        reference_set_sequence(bulk, warmup)
+        reference_set_sequence(seq, warmup)
+        bulk.update(window, lambda sub, old: old + 100)
+        for sub, old in seq.slices(window):
+            seq.set(sub, old + 100)
+        bulk.check_invariants()
+        assert bulk.partitions() == seq.partitions()
+
+
+class TestPresplit:
+    @given(st.sets(st.integers(min_value=-5, max_value=45), max_size=12),
+           update_batches())
+    @settings(max_examples=300, deadline=None)
+    def test_presplit_matches_repeated_split_at(self, points, warmup):
+        lifespan = Interval(0, 40)
+        bulk = PartitionedState(lifespan, 0, coalesce=False)
+        seq = PartitionedState(lifespan, 0, coalesce=False)
+        reference_set_sequence(bulk, warmup)
+        reference_set_sequence(seq, warmup)
+        bulk.presplit(points)
+        for t in sorted(points):
+            if lifespan.start < t < lifespan.end:
+                seq._split_at(t)
+        bulk.check_invariants()
+        assert bulk.partitions() == seq.partitions()
+
+
+class TestGroupsEqual:
+    CASES = [
+        ([1, 2, 2], [2, 1, 2], True),
+        ([1, 2, 2], [2, 2, 2], False),
+        ([1, 2], [1, 2, 2], False),
+        ([], [], True),
+        ([[1], [2]], [[2], [1]], True),          # unhashable, orderable
+        ([[1], [1]], [[1], [2]], False),
+        ([{"a": 1}], [{"a": 1}], True),          # unhashable, unorderable
+        ([{"a": 1}, {"b": 2}], [{"b": 2}, {"a": 1}], True),
+        ([{"a": 1}], [{"a": 2}], False),
+        ([1, "x"], ["x", 1], True),              # mixed types, hashable
+    ]
+
+    def test_agrees_with_reference_on_cases(self):
+        for a, b, expected in self.CASES:
+            assert _groups_equal(a, b) is expected
+            assert _reference_groups_equal(a, b) is expected
+
+    @given(st.lists(st.integers(0, 4), max_size=8),
+           st.lists(st.integers(0, 4), max_size=8))
+    @settings(max_examples=300, deadline=None)
+    def test_agrees_with_reference_property(self, a, b):
+        assert _groups_equal(a, b) == _reference_groups_equal(a, b)
