@@ -11,7 +11,14 @@ Times the engine's four hot kernels on synthetic workloads —
                     the nested-intersection reference;
 * **encode**      — message codec round-trip (no reference; tracked as
                     time normalised by a pure-Python calibration loop so
-                    the number is comparable across machines).
+                    the number is comparable across machines);
+* **engine**      — a full interval-centric run (~10k messages) under the
+                    parallel executor against the serial executor, after
+                    asserting both return identical states.  The speedup
+                    depends on physical cores, so the result records the
+                    core count: the acceptance floor only binds on ≥4-core
+                    machines, and baseline comparisons are skipped when the
+                    baseline came from a different core count.
 
 Results are written to ``BENCH_kernels.json`` at the repository root: a
 committed **baseline** plus a bounded run **history**, so the repo carries
@@ -32,6 +39,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import random
 import sys
 import time
@@ -42,10 +50,14 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT))  # for tests.core._reference_impls
 
+from repro.core.engine import IntervalCentricEngine  # noqa: E402
 from repro.core.interval import Interval  # noqa: E402
 from repro.core.messages import IntervalMessage  # noqa: E402
+from repro.core.program import IntervalProgram  # noqa: E402
 from repro.core.state import PartitionedState  # noqa: E402
 from repro.core.warp import merge_join_partitioned, time_warp  # noqa: E402
+from repro.graph.builder import TemporalGraphBuilder  # noqa: E402
+from repro.runtime.cluster import SimulatedCluster  # noqa: E402
 from repro.runtime.encoding import decode_message, encode_message  # noqa: E402
 
 from tests.core._reference_impls import (  # noqa: E402
@@ -60,7 +72,10 @@ RESULTS_PATH = REPO_ROOT / "BENCH_kernels.json"
 # the smoke gate is a sanity check, the full gate is the contract.
 REGRESSION_TOLERANCE = {"full": 0.20, "smoke": 0.50}
 HISTORY_LIMIT = 50
-SPEEDUP_FLOOR = {"warp_10k": 3.0}  # the paper-path acceptance bar
+SPEEDUP_FLOOR = {"warp_10k": 3.0, "engine_parallel": 1.7}  # acceptance bars
+#: Parallel-executor floors only bind when this many cores are available —
+#: below that the speedup is physically out of reach.
+FLOOR_MIN_CORES = 4
 
 SIZES = {
     "full": dict(
@@ -68,12 +83,16 @@ SIZES = {
         state_updates=5_000, state_span=20_000,
         scatter_slices=512, scatter_pieces=256, scatter_span=8_192,
         encode_messages=20_000, repeats=3,
+        engine_vertices=160, engine_fanout=7, engine_span=64,
+        engine_supersteps=4, engine_shards=4, engine_procs=4,
     ),
     "smoke": dict(
         warp_messages=3_000, warp_partitions=48, warp_span=3_000,
         state_updates=1_000, state_span=4_000,
         scatter_slices=128, scatter_pieces=64, scatter_span=2_048,
         encode_messages=4_000, repeats=3,
+        engine_vertices=60, engine_fanout=5, engine_span=32,
+        engine_supersteps=4, engine_shards=4, engine_procs=2,
     ),
 }
 
@@ -209,6 +228,80 @@ def bench_encode(sizes, repeats, calib):
     return {"opt_s": opt, "normalized": opt / calib}
 
 
+class _FloodMin(IntervalProgram):
+    """Fixed-superstep label flood: every vertex computes and scatters each
+    round, so the message volume is ``supersteps × edge-overlaps`` and both
+    executors get a dense, evenly spread workload."""
+
+    name = "bench-flood"
+
+    def __init__(self, supersteps: int):
+        self.fixed_supersteps = supersteps
+
+    def init(self, ctx):
+        # Deterministic label derived from the "v<i>" id (hash() is salted
+        # per interpreter, which would break cross-run reproducibility).
+        ctx.set_state(ctx.lifespan, (int(ctx.vertex_id[1:]) * 31) % 977)
+
+    def compute(self, ctx, interval, state, messages):
+        best = min(messages) if messages else state
+        ctx.set_state(interval, min(state, best) if state is not None else best)
+
+    def scatter(self, ctx, edge, interval, state):
+        return [(interval, state)]
+
+
+def _build_engine_workload(sizes):
+    rng = random.Random(0xACE5)
+    span = sizes["engine_span"]
+    n = sizes["engine_vertices"]
+    builder = TemporalGraphBuilder()
+    builder.add_vertices([f"v{i}" for i in range(n)], 0, span)
+    for i in range(n):
+        for _ in range(sizes["engine_fanout"]):
+            j = rng.randrange(n)
+            if j == i:
+                continue
+            start = rng.randrange(span - 2)
+            builder.add_edge(f"v{i}", f"v{j}", start, rng.randint(start + 1, span))
+    return builder.build()
+
+
+def bench_engine_parallel(sizes, repeats):
+    graph = _build_engine_workload(sizes)
+    shards = sizes["engine_shards"]
+    supersteps = sizes["engine_supersteps"]
+
+    def run(executor, processes=None):
+        engine = IntervalCentricEngine(
+            graph, _FloodMin(supersteps), cluster=SimulatedCluster(shards),
+            executor=executor, executor_processes=processes,
+        )
+        return engine.run()
+
+    serial = run("serial")
+    parallel = run("parallel", sizes["engine_procs"])
+    assert {v: list(s) for v, s in serial.states.items()} == \
+           {v: list(s) for v, s in parallel.states.items()}, (
+        "parallel engine run diverged from serial"
+    )
+
+    serial_s = best_of(lambda: run("serial"), repeats)
+    parallel_s = best_of(lambda: run("parallel", sizes["engine_procs"]), repeats)
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cores = os.cpu_count() or 1
+    return {
+        "opt_s": parallel_s,
+        "ref_s": serial_s,
+        "speedup": serial_s / parallel_s,
+        "cores": cores,
+        "processes": sizes["engine_procs"],
+        "messages": serial.metrics.messages_sent,
+    }
+
+
 # -- gate ----------------------------------------------------------------------
 
 
@@ -226,11 +319,21 @@ def check_regressions(results: dict, baseline: dict, mode: str) -> list[str]:
         metric, value, higher_better = gate_metric(kernel, result)
         floor = SPEEDUP_FLOOR.get(kernel)
         if floor is not None and metric == "speedup" and mode == "full" and value < floor:
-            failures.append(
-                f"{kernel}: speedup {value:.2f}x below the {floor:.1f}x acceptance floor"
-            )
+            if result.get("cores", FLOOR_MIN_CORES) < FLOOR_MIN_CORES:
+                print(
+                    f"  note: {kernel} floor ({floor:.1f}x) not enforced on "
+                    f"{result['cores']}-core machine"
+                )
+            else:
+                failures.append(
+                    f"{kernel}: speedup {value:.2f}x below the {floor:.1f}x acceptance floor"
+                )
         base = baseline.get(kernel)
         if not base or metric not in base:
+            continue
+        if base.get("cores") is not None and base.get("cores") != result.get("cores"):
+            # Parallel speedups track physical cores; a baseline from a
+            # different machine shape says nothing about a regression here.
             continue
         ref = base[metric]
         pct = int(tolerance * 100)
@@ -284,14 +387,20 @@ def main(argv=None) -> int:
         ("state_bulk_update", lambda: bench_state(sizes, repeats)),
         ("scatter_merge_join", lambda: bench_scatter(sizes, repeats)),
         ("encode_roundtrip", lambda: bench_encode(sizes, repeats, calib)),
+        ("engine_parallel", lambda: bench_engine_parallel(sizes, repeats)),
     ):
         result = fn()
         results[name] = result
         if "speedup" in result:
+            extra = (
+                f"   ({result['processes']} procs / {result['cores']} cores, "
+                f"{result['messages']} msgs)"
+                if "cores" in result else ""
+            )
             print(
                 f"  {name:20s} opt {result['opt_s'] * 1e3:8.2f} ms   "
                 f"ref {result['ref_s'] * 1e3:9.2f} ms   "
-                f"speedup {result['speedup']:6.2f}x"
+                f"speedup {result['speedup']:6.2f}x{extra}"
             )
         else:
             print(

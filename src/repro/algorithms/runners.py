@@ -131,7 +131,10 @@ def run_algorithm(
 
     if algorithm == "SCC":
         if platform == "GRAPHITE":
-            res = run_icm_scc(graph, cluster=cluster, graph_name=graph_name)
+            res = run_icm_scc(
+                graph, cluster=cluster, graph_name=graph_name,
+                icm_options=icm_options,
+            )
             return RunOutcome(algorithm, platform, res.metrics, res)
         if platform == "MSB":
             values, metrics = run_snapshot_scc(

@@ -92,9 +92,11 @@ def run_icm_scc(
     cluster: Optional[SimulatedCluster] = None,
     graph_name: str = "",
     max_rounds: int = 10_000,
+    icm_options: Optional[dict] = None,
 ) -> SccResult:
     """Peeling driver running paired forward/backward ICM passes."""
     cluster = cluster or SimulatedCluster()
+    icm_options = icm_options or {}
     reversed_graph = graph.reversed()
     assigned = {
         v.vid: PartitionedState(v.lifespan, None) for v in graph.vertices()
@@ -104,10 +106,12 @@ def run_icm_scc(
     while _has_unassigned(assigned) and rounds < max_rounds:
         rounds += 1
         fwd = IntervalCentricEngine(
-            graph, MinLabelPass(assigned), cluster=cluster, graph_name=graph_name
+            graph, MinLabelPass(assigned), cluster=cluster, graph_name=graph_name,
+            **icm_options,
         ).run()
         bwd = IntervalCentricEngine(
-            reversed_graph, MinLabelPass(assigned), cluster=cluster, graph_name=graph_name
+            reversed_graph, MinLabelPass(assigned), cluster=cluster,
+            graph_name=graph_name, **icm_options,
         ).run()
         total.merge(fwd.metrics)
         total.merge(bwd.metrics)

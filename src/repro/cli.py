@@ -55,12 +55,23 @@ def _print_metrics(metrics) -> None:
         print(f"  {label.ljust(width)}  {value}")
 
 
+def _icm_options(args: argparse.Namespace) -> dict:
+    """Executor selection forwarded to GRAPHITE engine constructions."""
+    options: dict = {}
+    if getattr(args, "executor", None) is not None:
+        options["executor"] = args.executor
+    if getattr(args, "processes", None) is not None:
+        options["executor_processes"] = args.processes
+    return options
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     graph = _load(args.dataset, args.scale)
     outcome = run_algorithm(
         args.algorithm, args.platform, graph,
         cluster=SimulatedCluster(args.workers),
         graph_name=args.dataset,
+        icm_options=_icm_options(args),
     )
     print(f"{args.algorithm} on {args.dataset} "
           f"({graph.num_vertices} vertices, {graph.num_edges} edges):")
@@ -77,6 +88,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         metrics = run_algorithm(
             args.algorithm, platform, graph,
             cluster=SimulatedCluster(args.workers), graph_name=args.dataset,
+            icm_options=_icm_options(args),
         ).metrics
         if base is None:
             base = metrics.modeled_makespan
@@ -131,8 +143,12 @@ def cmd_trace(args: argparse.Namespace) -> int:
     if args.algorithm not in programs:
         print(f"trace supports {sorted(programs)}; got {args.algorithm}")
         return 2
+    if args.executor == "parallel":
+        print("trace requires the serial executor (tracing hooks run in-process)")
+        return 2
     engine = IntervalCentricEngine(
-        graph, programs[args.algorithm](), tracer=tracer, graph_name=args.dataset
+        graph, programs[args.algorithm](), tracer=tracer, graph_name=args.dataset,
+        executor="serial",
     )
     engine.run()
     vertices = set(args.vertices) if args.vertices else None
@@ -180,6 +196,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="surrogate size multiplier (default 0.5)")
         p.add_argument("--workers", type=int, default=8,
                        help="simulated cluster size (default 8)")
+        p.add_argument("--executor", choices=("serial", "parallel"),
+                       default=None,
+                       help="execution backend for GRAPHITE runs "
+                            "(default: REPRO_EXECUTOR env var or serial)")
+        p.add_argument("--processes", type=int, default=None,
+                       help="worker processes for --executor parallel "
+                            "(default: one per available core)")
 
     p_run = sub.add_parser("run", help="run one algorithm on one platform")
     p_run.add_argument("algorithm", choices=ALL_ALGORITHMS)

@@ -18,6 +18,14 @@ Execution alternates computation and communication phases over supersteps:
 Engineering optimisations from Sec. VI are implemented and switchable:
 receiver-side and inline-warp combiners, warp suppression for unit-length
 message traffic, and varint message encoding (in the simulated transport).
+
+The per-vertex pipeline lives in :class:`VertexProcessor`, a pure function
+of (context, inbox, superstep): every engine-global service it needs comes
+in through the context's host object or the ``send`` sink.  The driver loop
+in :meth:`IntervalCentricEngine.run` dispatches vertices to an *executor*
+(`repro.runtime.executor`): the serial executor calls the processor
+in-process, the parallel executor replicates it inside shared-nothing
+worker processes and exchanges messages at the barrier.
 """
 
 from __future__ import annotations
@@ -57,6 +65,15 @@ class IcmProgramError(RuntimeError):
         self.superstep = superstep
         self.interval = interval
         self.original = original
+
+    def __reduce__(self):
+        # RuntimeError's default reduce replays ``args`` (the formatted
+        # message) into ``__init__``, which needs five arguments — spell the
+        # constructor call out so the error survives a worker-process pipe.
+        return (
+            IcmProgramError,
+            (self.phase, self.vertex, self.superstep, self.interval, self.original),
+        )
 
 
 @dataclass
@@ -120,205 +137,50 @@ class _EdgePieceIndex:
         return out
 
 
-class IntervalCentricEngine:
-    """Run an :class:`IntervalProgram` over a temporal graph.
+class VertexProcessor:
+    """One vertex's computation phase as a pure function of its inputs.
 
-    Parameters
-    ----------
-    graph:
-        The :class:`~repro.graph.model.TemporalGraph` to process.
-    program:
-        User logic.
-    cluster:
-        Simulated cluster; a fresh 8-worker cluster is created by default.
-    enable_warp_combiner / enable_receiver_combiner:
-        Apply the program's combiner inline in warp / receiver-side on
-        identical intervals (paper Sec. VI; both default on, as in the
-        paper's experiments).
-    enable_warp_suppression / warp_suppression_threshold:
-        Skip warp for a vertex when at least this fraction of its inbound
-        messages are unit-length, degenerating to time-point execution.
-    coalesce_states:
-        Merge adjacent equal-valued state partitions after updates.
-    max_supersteps:
-        Safety valve; exceeding it raises ``RuntimeError``.
+    Everything a superstep does to a single vertex — init, time-warp,
+    warp-suppressed time-point execution, compute dispatch, the scatter
+    time-join — happens here, with no reference back to the driver loop:
+    outbound messages go through the ``send(src, dst, msg)`` sink passed per
+    call, and engine services (aggregators, direct sends) reach user code
+    through the context's host object.  The serial executor binds one
+    processor to the engine; each parallel worker process builds its own
+    from the same construction arguments, which is what makes the two
+    executors bit-compatible.
+
+    ``superstep`` is set by the driving executor before each superstep.
     """
 
     def __init__(
         self,
         graph,
         program: IntervalProgram,
+        compute_model,
         *,
-        cluster: Optional[SimulatedCluster] = None,
-        graph_name: str = "",
         enable_warp_combiner: bool = True,
         enable_receiver_combiner: bool = True,
         enable_dominated_elimination: bool = True,
         enable_warp_suppression: bool = True,
         warp_suppression_threshold: float = 0.70,
         suppression_expansion_cap: int = 4,
-        coalesce_states: bool = True,
-        prepartition_by_vertex_properties: bool = False,
-        max_supersteps: int = 100_000,
         tracer=None,
     ):
         self.graph = graph
         self.program = program
-        self.cluster = cluster or SimulatedCluster()
-        self.graph_name = graph_name
+        self.model = compute_model
         self.enable_warp_combiner = enable_warp_combiner
         self.enable_receiver_combiner = enable_receiver_combiner
         self.enable_dominated_elimination = enable_dominated_elimination
         self.enable_warp_suppression = enable_warp_suppression
         self.warp_suppression_threshold = warp_suppression_threshold
         self.suppression_expansion_cap = suppression_expansion_cap
-        self.coalesce_states = coalesce_states
-        #: Paper footnote 2: states may be pre-partitioned on the
-        #: sub-intervals of the vertex's static properties, making the
-        #: computing unit an *interval property vertex*.  Off by default
-        #: (properties are optional and coalescing undoes unused splits).
-        self.prepartition_by_vertex_properties = prepartition_by_vertex_properties
-        self.max_supersteps = max_supersteps
-        #: Optional ExecutionTracer recording compute/scatter/send events.
         self.tracer = tracer
-
         self.superstep = 0
-        self._aggregates: dict[str, Any] = {}
-        self._next_aggregates: dict[str, Any] = {}
-        self._aggregator_fns = program.aggregators()
-        self._metrics: Optional[RunMetrics] = None
         #: vid → scatter indexes of its out-edges, built on first scatter
         #: and reused across supersteps (the graph is immutable per run).
         self._edge_index: dict[Any, list[_EdgePieceIndex]] = {}
-
-    def send_direct(self, src_vid: Any, dst_vid: Any, interval: Interval, value: Any) -> None:
-        """Direct (non-edge) messaging service backing ``ctx.send``."""
-        assert self._metrics is not None, "send_direct outside run()"
-        if self.tracer is not None:
-            self.tracer.on_send(self.superstep, src_vid, dst_vid, interval, value)
-        self.cluster.send(src_vid, dst_vid, IntervalMessage(interval, value), self._metrics)
-
-    # -- aggregator services (called via VertexContext) ------------------------
-
-    def contribute_aggregate(self, name: str, value: Any) -> None:
-        """Fold ``value`` into the named aggregator (next-superstep scope)."""
-        fn = self._aggregator_fns.get(name)
-        if fn is None:
-            raise KeyError(f"no aggregator registered under {name!r}")
-        if name in self._next_aggregates:
-            self._next_aggregates[name] = fn(self._next_aggregates[name], value)
-        else:
-            self._next_aggregates[name] = value
-
-    def read_aggregate(self, name: str, default: Any = None) -> Any:
-        """The value the aggregator reduced to in the previous superstep."""
-        return self._aggregates.get(name, default)
-
-    # -- main loop ----------------------------------------------------------
-
-    def run(
-        self,
-        *,
-        warm_states: Optional[dict[Any, PartitionedState]] = None,
-        rescatter: Optional[dict[Any, list[Interval]]] = None,
-    ) -> IcmResult:
-        """Execute to convergence and return states plus metrics.
-
-        Parameters
-        ----------
-        warm_states:
-            Resume from a previous run's states instead of calling ``init``
-            everywhere.  Vertices present in the mapping skip superstep-1
-            initialisation; vertices *absent* from it (newly added to the
-            graph) are initialised normally.  The streaming engine uses
-            this for incremental recomputation.
-        rescatter:
-            Vertex → interval windows whose current state should be
-            scattered again in superstep 1 (e.g. over newly added edges).
-            Only meaningful together with ``warm_states``.
-        """
-        metrics = RunMetrics(
-            platform="GRAPHITE",
-            algorithm=self.program.name,
-            graph=self.graph_name,
-        )
-        self._metrics = metrics
-        self.cluster.reset()
-        rescatter = rescatter or {}
-
-        t_load = time.perf_counter()
-        contexts: dict[Any, VertexContext] = {}
-        fresh: set[Any] = set()
-        for v in self.graph.vertices():
-            if warm_states is not None and v.vid in warm_states:
-                state = warm_states[v.vid].copy()
-            else:
-                state = PartitionedState(v.lifespan, None, coalesce=self.coalesce_states)
-                if self.prepartition_by_vertex_properties:
-                    state.presplit(v.properties.boundaries())
-                fresh.add(v.vid)
-            contexts[v.vid] = VertexContext(v, state, self)
-        metrics.load_time = time.perf_counter() - t_load
-
-        fixed = self.program.fixed_supersteps
-        t_run = time.perf_counter()
-        self.superstep = 1
-        while True:
-            if self.superstep > self.max_supersteps:
-                raise RuntimeError(
-                    f"{self.program.name} exceeded {self.max_supersteps} supersteps"
-                )
-            if fixed is not None and self.superstep > fixed:
-                break
-            if fixed is None and self.superstep > 1 and not self.cluster.has_pending_messages():
-                break
-
-            inboxes = self.cluster.begin_superstep(self.superstep)
-            if self.superstep == 1:
-                if warm_states is None:
-                    active = list(contexts)
-                else:
-                    active = [vid for vid in contexts
-                              if vid in fresh or vid in rescatter]
-            elif fixed is not None:
-                active = list(contexts)
-            else:
-                active = [vid for vid in inboxes if vid in contexts]
-
-            calls_before = metrics.compute_calls
-            scatter_before = metrics.scatter_calls
-            t0 = time.perf_counter()
-            for vid in active:
-                ctx = contexts[vid]
-                if self.superstep == 1 and warm_states is not None and vid not in fresh:
-                    # Warm vertex: re-scatter its existing state over the
-                    # requested windows (monotone programs absorb the
-                    # resulting re-deliveries harmlessly).
-                    ctx._updated.extend(rescatter[vid])
-                    cost = self._scatter_updates(ctx, metrics)
-                else:
-                    cost = self._process_vertex(ctx, inboxes.get(vid, []), metrics)
-                self.cluster.add_compute_time(vid, cost)
-            compute_wall = time.perf_counter() - t0
-            metrics.compute_plus_time += compute_wall
-
-            step = self.cluster.end_superstep(metrics)
-            step.compute_time = compute_wall
-            step.compute_calls = metrics.compute_calls - calls_before
-            step.scatter_calls = metrics.scatter_calls - scatter_before
-            metrics.supersteps += 1
-
-            self._aggregates = self._reduce_aggregates()
-            master = MasterContext(self.superstep, dict(self._aggregates), len(active))
-            self.program.master_compute(master)
-            self._aggregates.update(master._overrides)
-            if master._halt:
-                break
-            self.superstep += 1
-
-        metrics.makespan = time.perf_counter() - t_run
-        states = {vid: ctx._state for vid, ctx in contexts.items()}
-        return IcmResult(states=states, metrics=metrics, aggregates=dict(self._aggregates))
 
     # -- program invocation (error-context wrapping) ---------------------------
 
@@ -338,12 +200,16 @@ class IntervalCentricEngine:
 
     # -- per-vertex processing -----------------------------------------------
 
-    def _process_vertex(
-        self, ctx: VertexContext, messages: list[IntervalMessage], metrics: RunMetrics
+    def process(
+        self,
+        ctx: VertexContext,
+        messages: list[IntervalMessage],
+        metrics: RunMetrics,
+        send,
     ) -> float:
         """Run one vertex's computation phase; returns its modeled cost."""
         program = self.program
-        model = self.cluster.compute_model
+        model = self.model
         cost = 0.0
         if self.superstep == 1:
             ctx._begin("init", ctx.lifespan)
@@ -362,14 +228,27 @@ class IntervalCentricEngine:
                 self._invoke_compute(ctx, interval, value, [], metrics)
                 cost += model.per_compute_call_s
             ctx._end()
-        cost += self._scatter_updates(ctx, metrics)
+        cost += self.scatter_updates(ctx, metrics, send)
         return cost
+
+    def rescatter(
+        self,
+        ctx: VertexContext,
+        windows: list[Interval],
+        metrics: RunMetrics,
+        send,
+    ) -> float:
+        """Warm-start path: re-scatter existing state over ``windows``
+        without recomputing (monotone programs absorb the resulting
+        re-deliveries harmlessly)."""
+        ctx._updated.extend(windows)
+        return self.scatter_updates(ctx, metrics, send)
 
     def _compute_on_messages(
         self, ctx: VertexContext, messages: list[IntervalMessage], metrics: RunMetrics
     ) -> float:
         program = self.program
-        model = self.cluster.compute_model
+        model = self.model
         combiner = program.combiner
         cost = 0.0
         if combiner is not None and self.enable_receiver_combiner:
@@ -380,7 +259,7 @@ class IntervalCentricEngine:
                 messages = combiner.combine_dominated(messages)
             metrics.combiner_reductions += before - len(messages)
 
-        if self._should_suppress_warp(messages, ctx.lifespan):
+        if self.should_suppress_warp(messages, ctx.lifespan):
             metrics.warp_suppressed_vertices += 1
             cost += self._compute_time_point(ctx, messages, metrics)
             covered = coalesce(
@@ -421,9 +300,8 @@ class IntervalCentricEngine:
         unchanged (every point still sees its full message group exactly
         once).  The saving is the warp's per-item merge cost.
         """
-        program = self.program
-        model = self.cluster.compute_model
-        combiner = program.combiner if self.enable_warp_combiner else None
+        model = self.model
+        combiner = self.program.combiner if self.enable_warp_combiner else None
         cost = 0.0
         buckets: dict[int, list[Any]] = {}
         for msg in messages:
@@ -445,7 +323,7 @@ class IntervalCentricEngine:
         ctx._end()
         return cost
 
-    def _should_suppress_warp(
+    def should_suppress_warp(
         self, messages: list[IntervalMessage], lifespan: Interval
     ) -> bool:
         """Decide whether to skip warp for time-point execution.
@@ -490,12 +368,12 @@ class IntervalCentricEngine:
             self._edge_index[vid] = indexed
         return indexed
 
-    def _scatter_updates(self, ctx: VertexContext, metrics: RunMetrics) -> float:
+    def scatter_updates(self, ctx: VertexContext, metrics: RunMetrics, send) -> float:
         updated = ctx._take_updates()
         if not updated:
             return 0.0
         program = self.program
-        model = self.cluster.compute_model
+        model = self.model
         cost = 0.0
         vid = ctx.vertex_id
         out_edges = self._edge_pieces_of(vid)
@@ -551,12 +429,236 @@ class IntervalCentricEngine:
                 # message instead of one per edge-property piece.
                 msgs = coalesce_messages(msgs, allow_overlap=selective)
             for msg in msgs:
-                if self.tracer is not None:
-                    self.tracer.on_send(self.superstep, vid, dst, msg.interval, msg.value)
-                self.cluster.send(vid, dst, msg, metrics)
+                send(vid, dst, msg)
         return cost
 
+
+class IntervalCentricEngine:
+    """Run an :class:`IntervalProgram` over a temporal graph.
+
+    Parameters
+    ----------
+    graph:
+        The :class:`~repro.graph.model.TemporalGraph` to process.
+    program:
+        User logic.
+    cluster:
+        Simulated cluster; a fresh 8-worker cluster is created by default.
+    enable_warp_combiner / enable_receiver_combiner:
+        Apply the program's combiner inline in warp / receiver-side on
+        identical intervals (paper Sec. VI; both default on, as in the
+        paper's experiments).
+    enable_warp_suppression / warp_suppression_threshold:
+        Skip warp for a vertex when at least this fraction of its inbound
+        messages are unit-length, degenerating to time-point execution.
+    coalesce_states:
+        Merge adjacent equal-valued state partitions after updates.
+    max_supersteps:
+        Safety valve; exceeding it raises ``RuntimeError``.
+    executor:
+        ``"serial"`` (default), ``"parallel"``, or an executor instance;
+        ``None`` reads the ``REPRO_EXECUTOR`` environment variable.  The
+        parallel executor runs each simulated worker's partition in a
+        shared-nothing worker process — results are identical either way.
+    executor_processes:
+        Worker-process count for the parallel executor (``None``: the
+        ``REPRO_EXECUTOR_PROCESSES`` environment variable, else one per
+        available core, capped at ``cluster.num_workers``).
+    """
+
+    def __init__(
+        self,
+        graph,
+        program: IntervalProgram,
+        *,
+        cluster: Optional[SimulatedCluster] = None,
+        graph_name: str = "",
+        enable_warp_combiner: bool = True,
+        enable_receiver_combiner: bool = True,
+        enable_dominated_elimination: bool = True,
+        enable_warp_suppression: bool = True,
+        warp_suppression_threshold: float = 0.70,
+        suppression_expansion_cap: int = 4,
+        coalesce_states: bool = True,
+        prepartition_by_vertex_properties: bool = False,
+        max_supersteps: int = 100_000,
+        tracer=None,
+        executor: Any = None,
+        executor_processes: Optional[int] = None,
+    ):
+        self.graph = graph
+        self.program = program
+        self.cluster = cluster or SimulatedCluster()
+        self.graph_name = graph_name
+        self.enable_warp_combiner = enable_warp_combiner
+        self.enable_receiver_combiner = enable_receiver_combiner
+        self.enable_dominated_elimination = enable_dominated_elimination
+        self.enable_warp_suppression = enable_warp_suppression
+        self.warp_suppression_threshold = warp_suppression_threshold
+        self.suppression_expansion_cap = suppression_expansion_cap
+        self.coalesce_states = coalesce_states
+        #: Paper footnote 2: states may be pre-partitioned on the
+        #: sub-intervals of the vertex's static properties, making the
+        #: computing unit an *interval property vertex*.  Off by default
+        #: (properties are optional and coalescing undoes unused splits).
+        self.prepartition_by_vertex_properties = prepartition_by_vertex_properties
+        self.max_supersteps = max_supersteps
+        #: Optional ExecutionTracer recording compute/scatter/send events.
+        self.tracer = tracer
+        self.executor = executor
+        self.executor_processes = executor_processes
+
+        self.superstep = 0
+        self._aggregates: dict[str, Any] = {}
+        self._next_aggregates: dict[str, Any] = {}
+        self._aggregator_fns = program.aggregators()
+        self._metrics: Optional[RunMetrics] = None
+        #: vid → canonical global vertex order (graph enumeration order);
+        #: both executors process actives and merge messages in this order.
+        self._seq: dict[Any, int] = {}
+        self._processor = VertexProcessor(
+            graph,
+            program,
+            self.cluster.compute_model,
+            enable_warp_combiner=enable_warp_combiner,
+            enable_receiver_combiner=enable_receiver_combiner,
+            enable_dominated_elimination=enable_dominated_elimination,
+            enable_warp_suppression=enable_warp_suppression,
+            warp_suppression_threshold=warp_suppression_threshold,
+            suppression_expansion_cap=suppression_expansion_cap,
+            tracer=tracer,
+        )
+
+    def processor_args(self) -> dict[str, Any]:
+        """Construction kwargs for a :class:`VertexProcessor` equivalent to
+        this engine's — what a parallel worker process builds its own from
+        (minus the tracer, which cannot cross process boundaries)."""
+        return dict(
+            enable_warp_combiner=self.enable_warp_combiner,
+            enable_receiver_combiner=self.enable_receiver_combiner,
+            enable_dominated_elimination=self.enable_dominated_elimination,
+            enable_warp_suppression=self.enable_warp_suppression,
+            warp_suppression_threshold=self.warp_suppression_threshold,
+            suppression_expansion_cap=self.suppression_expansion_cap,
+        )
+
+    def send_direct(self, src_vid: Any, dst_vid: Any, interval: Interval, value: Any) -> None:
+        """Direct (non-edge) messaging service backing ``ctx.send``."""
+        assert self._metrics is not None, "send_direct outside run()"
+        if self.tracer is not None:
+            self.tracer.on_send(self.superstep, src_vid, dst_vid, interval, value)
+        self.cluster.send(src_vid, dst_vid, IntervalMessage(interval, value), self._metrics)
+
+    # -- aggregator services (called via VertexContext) ------------------------
+
+    def contribute_aggregate(self, name: str, value: Any) -> None:
+        """Fold ``value`` into the named aggregator (next-superstep scope)."""
+        fn = self._aggregator_fns.get(name)
+        if fn is None:
+            raise KeyError(f"no aggregator registered under {name!r}")
+        if name in self._next_aggregates:
+            self._next_aggregates[name] = fn(self._next_aggregates[name], value)
+        else:
+            self._next_aggregates[name] = value
+
+    def read_aggregate(self, name: str, default: Any = None) -> Any:
+        """The value the aggregator reduced to in the previous superstep."""
+        return self._aggregates.get(name, default)
+
+    # -- main loop ----------------------------------------------------------
+
+    def run(
+        self,
+        *,
+        warm_states: Optional[dict[Any, PartitionedState]] = None,
+        rescatter: Optional[dict[Any, list[Interval]]] = None,
+    ) -> IcmResult:
+        """Execute to convergence and return states plus metrics.
+
+        Parameters
+        ----------
+        warm_states:
+            Resume from a previous run's states instead of calling ``init``
+            everywhere.  Vertices present in the mapping skip superstep-1
+            initialisation; vertices *absent* from it (newly added to the
+            graph) are initialised normally.  The streaming engine uses
+            this for incremental recomputation.
+        rescatter:
+            Vertex → interval windows whose current state should be
+            scattered again in superstep 1 (e.g. over newly added edges).
+            Only meaningful together with ``warm_states``.
+        """
+        from repro.runtime.executor import resolve_executor
+
+        executor = resolve_executor(
+            self.executor, self.executor_processes, tracer=self.tracer
+        )
+        metrics = RunMetrics(
+            platform="GRAPHITE",
+            algorithm=self.program.name,
+            graph=self.graph_name,
+            executor=executor.name,
+        )
+        self._metrics = metrics
+        self.cluster.reset()
+        rescatter = rescatter or {}
+
+        t_load = time.perf_counter()
+        states: dict[Any, PartitionedState] = {}
+        fresh: set[Any] = set()
+        self._seq = {}
+        for i, v in enumerate(self.graph.vertices()):
+            self._seq[v.vid] = i
+            if warm_states is not None and v.vid in warm_states:
+                state = warm_states[v.vid].copy()
+            else:
+                state = PartitionedState(v.lifespan, None, coalesce=self.coalesce_states)
+                if self.prepartition_by_vertex_properties:
+                    state.presplit(v.properties.boundaries())
+                fresh.add(v.vid)
+            states[v.vid] = state
+        metrics.load_time = time.perf_counter() - t_load
+
+        fixed = self.program.fixed_supersteps
+        executor.start(self, states, fresh, rescatter, warm=warm_states is not None)
+        try:
+            t_run = time.perf_counter()
+            self.superstep = 1
+            while True:
+                if self.superstep > self.max_supersteps:
+                    raise RuntimeError(
+                        f"{self.program.name} exceeded {self.max_supersteps} supersteps"
+                    )
+                if fixed is not None and self.superstep > fixed:
+                    break
+                if fixed is None and self.superstep > 1 and not executor.has_pending():
+                    break
+
+                num_active = executor.run_superstep(self.superstep, metrics)
+                metrics.supersteps += 1
+
+                self._aggregates = self._reduce_aggregates()
+                master = MasterContext(self.superstep, dict(self._aggregates), num_active)
+                self.program.master_compute(master)
+                self._aggregates.update(master._overrides)
+                if master._halt:
+                    break
+                self.superstep += 1
+
+            metrics.makespan = time.perf_counter() - t_run
+            final_states = executor.collect_states()
+        finally:
+            executor.close()
+        return IcmResult(
+            states=final_states, metrics=metrics, aggregates=dict(self._aggregates)
+        )
+
     # -- internals ---------------------------------------------------------
+
+    def _should_suppress_warp(
+        self, messages: list[IntervalMessage], lifespan: Interval
+    ) -> bool:
+        return self._processor.should_suppress_warp(messages, lifespan)
 
     def _reduce_aggregates(self) -> dict[str, Any]:
         reduced = dict(self._next_aggregates)

@@ -73,6 +73,12 @@ class Interval:
     def __setattr__(self, name: str, value) -> None:
         raise AttributeError("Interval is immutable")
 
+    def __reduce__(self):
+        # __slots__ plus the immutability guard defeat default pickling
+        # (state restore goes through __setattr__); rebuild via the
+        # constructor so intervals can cross worker-process pipes.
+        return (Interval, (self.start, self.end))
+
     # -- constructors ------------------------------------------------------
 
     @classmethod

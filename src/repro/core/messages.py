@@ -24,6 +24,11 @@ class IntervalMessage:
     def __setattr__(self, name: str, value) -> None:
         raise AttributeError("IntervalMessage is immutable")
 
+    def __reduce__(self):
+        # Same pickling story as Interval: the immutability guard blocks
+        # default slot restoration, so rebuild through the constructor.
+        return (IntervalMessage, (self.interval, self.value))
+
     def __eq__(self, other: object) -> bool:
         return (
             isinstance(other, IntervalMessage)

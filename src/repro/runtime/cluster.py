@@ -19,6 +19,17 @@ from .metrics import ComputeModel, NetworkModel, RunMetrics, SuperstepMetrics
 from .partitioner import HashPartitioner
 
 
+class ClusterLifecycleError(RuntimeError):
+    """Superstep lifecycle misuse: traffic or accounting outside an open
+    superstep, or a superstep opened twice.
+
+    Message and compute accounting only mean anything inside a
+    ``begin_superstep`` / ``end_superstep`` pair; silently accepting calls
+    outside one lets a crashed run's stale state alias a new run's metrics.
+    ``reset()`` is the recovery path after a crashed run.
+    """
+
+
 class SimulatedCluster:
     """A fixed pool of BSP workers with per-superstep message queues.
 
@@ -35,6 +46,11 @@ class SimulatedCluster:
     varint_encoding:
         When false, messages are charged at the fixed-width two-longs
         layout — the ablation for the paper's 59–78% message-size claim.
+    model_network:
+        When false, the network cost model is disabled entirely: ``send``
+        skips per-message wire sizing (the hot-path cost nobody reads in
+        pure-compute experiments), and barriers charge neither transfer
+        time nor barrier latency.  Message *counts* are still kept.
     """
 
     def __init__(
@@ -45,12 +61,14 @@ class SimulatedCluster:
         compute_model: Optional[ComputeModel] = None,
         *,
         varint_encoding: bool = True,
+        model_network: bool = True,
     ):
         self.num_workers = num_workers
         self.partitioner = partitioner or HashPartitioner(num_workers)
         self.network = network or NetworkModel()
         self.compute_model = compute_model or ComputeModel()
         self.varint_encoding = varint_encoding
+        self.model_network = model_network
         self._inboxes: dict[Any, list[IntervalMessage]] = {}
         self._pending: dict[Any, list[IntervalMessage]] = {}
         self._worker_compute: list[float] = [0.0] * num_workers
@@ -72,6 +90,12 @@ class SimulatedCluster:
 
     def begin_superstep(self, superstep: int) -> dict[Any, list[IntervalMessage]]:
         """Deliver last superstep's messages; returns inboxes by vertex id."""
+        if self._step is not None:
+            raise ClusterLifecycleError(
+                f"begin_superstep({superstep}) while superstep "
+                f"{self._step.superstep} is still open — end_superstep() was "
+                "never called (use reset() to recover from a crashed run)"
+            )
         self._inboxes = self._pending
         self._pending = {}
         self._worker_compute = [0.0] * self.num_workers
@@ -93,7 +117,14 @@ class SimulatedCluster:
         ``msg`` is usually an :class:`IntervalMessage`; engines sending
         bare payloads (the VCM baselines) pass an explicit ``size``.
         """
-        if size is None:
+        step = self._step
+        if step is None:
+            raise ClusterLifecycleError(
+                f"send({src_vid!r} -> {dst_vid!r}) outside an open superstep"
+            )
+        if not self.model_network:
+            size = 0
+        elif size is None:
             size = encoded_message_size(msg, varint=self.varint_encoding)
         if system:
             metrics.system_messages += 1
@@ -104,29 +135,79 @@ class SimulatedCluster:
             metrics.local_messages += 1
         else:
             metrics.remote_messages += 1
-            if self._step is not None:
-                self._step.bytes += size
-        if self._step is not None:
-            self._step.messages += 1
+            step.bytes += size
+        step.messages += 1
         self._pending.setdefault(dst_vid, []).append(msg)
 
     def add_compute_time(self, vid: Any, seconds: float) -> None:
         """Attribute *modeled* compute cost to the worker owning ``vid``."""
+        if self._step is None:
+            raise ClusterLifecycleError(
+                f"add_compute_time({vid!r}) outside an open superstep"
+            )
         self._worker_compute[self.worker_of(vid)] += seconds
+
+    def add_shard_compute(self, shard: int, seconds: float) -> None:
+        """Attribute modeled compute cost directly to worker ``shard``.
+
+        The parallel barrier path already knows each vertex's shard, so it
+        folds per-shard sums in one call instead of re-hashing every vertex.
+        """
+        if self._step is None:
+            raise ClusterLifecycleError(
+                f"add_shard_compute({shard}) outside an open superstep"
+            )
+        self._worker_compute[shard] += seconds
+
+    def record_traffic(
+        self,
+        metrics: RunMetrics,
+        *,
+        app: int = 0,
+        system: int = 0,
+        local: int = 0,
+        remote: int = 0,
+        bytes_total: int = 0,
+        bytes_remote: int = 0,
+    ) -> None:
+        """Fold a batch of already-classified message traffic into the metrics.
+
+        The parallel executor's workers classify and size their own traffic
+        (messages never pass through :meth:`send` on the master), then report
+        per-superstep totals that this folds in at the barrier — mirroring
+        exactly what per-message ``send`` calls would have recorded.
+        """
+        step = self._step
+        if step is None:
+            raise ClusterLifecycleError("record_traffic outside an open superstep")
+        metrics.messages_sent += app
+        metrics.system_messages += system
+        metrics.local_messages += local
+        metrics.remote_messages += remote
+        if self.model_network:
+            metrics.message_bytes += bytes_total
+            step.bytes += bytes_remote
+        step.messages += app + system
 
     def end_superstep(self, metrics: RunMetrics, messaging_time: float = 0.0) -> SuperstepMetrics:
         """Close the superstep: fold the cost model into the metrics."""
         step = self._step
-        assert step is not None, "end_superstep without begin_superstep"
+        if step is None:
+            raise ClusterLifecycleError("end_superstep without begin_superstep")
         step.max_worker_compute_time = max(self._worker_compute, default=0.0)
-        transfer = self.network.transfer_time(step.bytes, step.messages, self.num_workers)
+        if self.model_network:
+            transfer = self.network.transfer_time(step.bytes, step.messages, self.num_workers)
+            barrier = self.network.barrier_latency_s
+        else:
+            transfer = 0.0
+            barrier = 0.0
         step.messaging_time = messaging_time + transfer
         metrics.messaging_time += step.messaging_time
         metrics.modeled_makespan += (
-            step.max_worker_compute_time + step.messaging_time + self.network.barrier_latency_s
+            step.max_worker_compute_time + step.messaging_time + barrier
         )
         metrics.modeled_compute_time += step.max_worker_compute_time
-        metrics.barrier_time += self.network.barrier_latency_s
+        metrics.barrier_time += barrier
         inflight = sum(len(v) for v in self._pending.values())
         metrics.peak_inflight_messages = max(metrics.peak_inflight_messages, inflight)
         metrics.supersteps_detail.append(step)

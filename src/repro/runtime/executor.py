@@ -1,0 +1,650 @@
+"""Superstep executors: serial and shared-nothing parallel execution.
+
+The engine's driver loop (`IntervalCentricEngine.run`) delegates each
+superstep to an executor:
+
+* :class:`SerialExecutor` — the historical behaviour: one process walks the
+  active vertices in canonical order and messages move through
+  ``SimulatedCluster.send``.
+* :class:`ParallelExecutor` — a Giraph-shaped runtime on one machine: each
+  worker process owns a fixed subset of the simulated workers' vertex
+  partitions (shared-nothing — no state is shared after fork), runs its
+  actives concurrently with the other processes, and exchanges cross-process
+  messages at the BSP barrier as varint-encoded routed batches
+  (`repro.runtime.encoding`), applying the program's combiner worker-locally
+  before encoding.  Worker-local messages never leave the process.
+
+Determinism: both executors process active vertices in the canonical global
+vertex order (graph enumeration order, ``engine._seq``), every message
+carries its sender's sequence number so receivers restore the serial
+delivery order with one stable sort, aggregate contributions are folded at
+the master in (sender, call) order, and modeled per-worker compute is summed
+in the same per-shard order serial would use — so parallel runs return
+results identical to serial runs, which the equivalence tests assert
+algorithm by algorithm.
+
+Simulated workers ("shards", ``cluster.num_workers``) are decoupled from
+worker *processes*: shards are assigned round-robin to however many
+processes are available, so an 8-worker simulation keeps its metrics
+identical whether it runs on 1, 2 or 8 cores.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.context import VertexContext
+from repro.core.engine import VertexProcessor
+from repro.core.interval import Interval
+from repro.core.messages import IntervalMessage
+
+from .encoding import decode_routed_batch, encode_routed_batch, encoded_batch_size
+from .metrics import RunMetrics
+
+_COUNT_FIELDS = (
+    "compute_calls",
+    "scatter_calls",
+    "warp_calls",
+    "warp_suppressed_vertices",
+    "combiner_reductions",
+)
+
+
+def resolve_executor(spec: Any = None, processes: Optional[int] = None, *, tracer=None):
+    """Turn an executor spec into an executor instance.
+
+    ``spec`` may be ``"serial"``, ``"parallel"``, an executor instance, or
+    ``None`` (read the ``REPRO_EXECUTOR`` environment variable, default
+    serial).  ``processes=None`` reads ``REPRO_EXECUTOR_PROCESSES``.
+    """
+    if spec is not None and not isinstance(spec, str):
+        executor = spec
+    else:
+        name = spec or os.environ.get("REPRO_EXECUTOR", "serial")
+        if tracer is not None and spec is None:
+            # Tracing is in-process only.  An *environment*-forced parallel
+            # executor falls back to serial so traced runs keep working
+            # under REPRO_EXECUTOR=parallel test sweeps; explicitly asking
+            # for parallel with a tracer still errors below.
+            name = "serial"
+        if processes is None:
+            env = os.environ.get("REPRO_EXECUTOR_PROCESSES")
+            if env:
+                processes = int(env)
+        if name == "serial":
+            executor = SerialExecutor()
+        elif name == "parallel":
+            executor = ParallelExecutor(processes=processes)
+        else:
+            raise ValueError(
+                f"unknown executor {name!r} (expected 'serial' or 'parallel')"
+            )
+    if tracer is not None and executor.name != "serial":
+        raise ValueError(
+            "the parallel executor cannot host an ExecutionTracer "
+            "(trace events happen in worker processes); use the serial executor"
+        )
+    return executor
+
+
+def _default_process_count() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+class SerialExecutor:
+    """Single-process execution — the reference the parallel path must match."""
+
+    name = "serial"
+
+    def start(self, engine, states, fresh, rescatter, warm: bool) -> None:
+        self._engine = engine
+        self._fresh = fresh
+        self._rescatter = rescatter
+        self._warm = warm
+        graph = engine.graph
+        self._contexts = {
+            vid: VertexContext(graph.vertex(vid), state, engine)
+            for vid, state in states.items()
+        }
+
+    def has_pending(self) -> bool:
+        return self._engine.cluster.has_pending_messages()
+
+    def run_superstep(self, superstep: int, metrics: RunMetrics) -> int:
+        engine = self._engine
+        cluster = engine.cluster
+        processor = engine._processor
+        processor.superstep = superstep
+        contexts = self._contexts
+
+        inboxes = cluster.begin_superstep(superstep)
+        if superstep == 1:
+            if not self._warm:
+                active = list(contexts)
+            else:
+                active = [
+                    vid for vid in contexts
+                    if vid in self._fresh or vid in self._rescatter
+                ]
+        elif engine.program.fixed_supersteps is not None:
+            active = list(contexts)
+        else:
+            seq = engine._seq
+            active = sorted(
+                (vid for vid in inboxes if vid in contexts), key=seq.__getitem__
+            )
+
+        tracer = engine.tracer
+
+        def send(src: Any, dst: Any, msg: IntervalMessage) -> None:
+            if tracer is not None:
+                tracer.on_send(superstep, src, dst, msg.interval, msg.value)
+            cluster.send(src, dst, msg, metrics)
+
+        calls_before = metrics.compute_calls
+        scatter_before = metrics.scatter_calls
+        t0 = time.perf_counter()
+        for vid in active:
+            ctx = contexts[vid]
+            if superstep == 1 and self._warm and vid not in self._fresh:
+                cost = processor.rescatter(ctx, self._rescatter[vid], metrics, send)
+            else:
+                cost = processor.process(ctx, inboxes.get(vid, []), metrics, send)
+            cluster.add_compute_time(vid, cost)
+        compute_wall = time.perf_counter() - t0
+        metrics.compute_plus_time += compute_wall
+        metrics.worker_wall_time += compute_wall
+
+        step = cluster.end_superstep(metrics)
+        step.compute_time = compute_wall
+        step.worker_wall_times = [compute_wall]
+        step.compute_calls = metrics.compute_calls - calls_before
+        step.scatter_calls = metrics.scatter_calls - scatter_before
+        return len(active)
+
+    def collect_states(self) -> dict[Any, Any]:
+        return {vid: ctx._state for vid, ctx in self._contexts.items()}
+
+    def close(self) -> None:
+        pass
+
+
+# -- parallel execution -------------------------------------------------------
+
+
+@dataclass
+class _ShardPayload:
+    """Everything one worker process needs to run its vertex partitions.
+
+    Shipped at fork time (copy-on-write under the fork start method, pickled
+    under spawn); nothing here is shared with the master afterwards.
+    """
+
+    graph: Any
+    program: Any
+    compute_model: Any
+    partitioner: Any
+    seq: dict[Any, int]
+    shard_to_proc: list[int]
+    proc_index: int
+    states: dict[Any, Any]
+    fresh: set
+    rescatter: dict[Any, list[Interval]]
+    warm: bool
+    model_network: bool
+    varint: bool
+    processor_args: dict[str, Any] = field(default_factory=dict)
+
+
+def _precombine_entries(entries, combiner, known_vids):
+    """Worker-local receiver combining before wire encoding.
+
+    Folds same-destination, identical-interval messages with the program's
+    *selective* combiner (min/max/or — folds that pick one operand, so
+    staging the fold per-worker leaves the receiver's final fold unchanged).
+    Messages to vertices outside the graph are passed through untouched:
+    the serial receiver never combines them (the vertex is never processed),
+    so pre-combining them would distort the reduction counts.
+
+    Returns ``(entries, reductions)``; the reduction count travels with the
+    batch and is credited to the *receiving* superstep's metrics, which is
+    when the serial executor would have performed the same folds.
+    """
+    out = []
+    index: dict[tuple[Any, Interval], int] = {}
+    reductions = 0
+    for seq, dst, msg in entries:
+        if dst not in known_vids:
+            out.append((seq, dst, msg))
+            continue
+        key = (dst, msg.interval)
+        pos = index.get(key)
+        if pos is None:
+            index[key] = len(out)
+            out.append((seq, dst, msg))
+        else:
+            first_seq, _, acc = out[pos]
+            out[pos] = (
+                first_seq,
+                dst,
+                IntervalMessage(acc.interval, combiner(acc.value, msg.value)),
+            )
+            reductions += 1
+    return out, reductions
+
+
+class _WorkerRuntime:
+    """One worker process's world: its contexts, inbox, and send routing.
+
+    Doubles as the engine-protocol host for its :class:`VertexContext`s
+    (``superstep`` / ``graph`` / ``send_direct`` / aggregator services).
+    """
+
+    def __init__(self, payload: _ShardPayload):
+        self.graph = payload.graph
+        self.program = payload.program
+        self.partitioner = payload.partitioner
+        self.seq = payload.seq
+        self.shard_to_proc = payload.shard_to_proc
+        self.proc_index = payload.proc_index
+        self.warm = payload.warm
+        self.fresh = payload.fresh
+        self.rescatter_windows = payload.rescatter
+        self.model_network = payload.model_network
+        self.varint = payload.varint
+        self.fixed = payload.program.fixed_supersteps
+        self.processor = VertexProcessor(
+            payload.graph,
+            payload.program,
+            payload.compute_model,
+            **payload.processor_args,
+        )
+        self._aggregator_names = set(payload.program.aggregators())
+        self.superstep = 0
+        self._aggregates: dict[str, Any] = {}
+        self.vids = list(payload.states)  # canonical (seq) order
+        self.contexts = {
+            vid: VertexContext(payload.graph.vertex(vid), state, self)
+            for vid, state in payload.states.items()
+        }
+        #: Messages routed to this process, awaiting next superstep.
+        self._pending: list[tuple[int, Any, IntervalMessage]] = []
+        self._cur_seq = 0
+        self._contrib_idx = 0
+        self._contribs: list[tuple[int, int, str, Any]] = []
+
+    # -- engine protocol for VertexContext -----------------------------------
+
+    def send_direct(self, src_vid: Any, dst_vid: Any, interval: Interval, value: Any) -> None:
+        self._send(src_vid, dst_vid, IntervalMessage(interval, value))
+
+    def contribute_aggregate(self, name: str, value: Any) -> None:
+        if name not in self._aggregator_names:
+            raise KeyError(f"no aggregator registered under {name!r}")
+        self._contribs.append((self._cur_seq, self._contrib_idx, name, value))
+        self._contrib_idx += 1
+
+    def read_aggregate(self, name: str, default: Any = None) -> Any:
+        return self._aggregates.get(name, default)
+
+    # -- message routing ------------------------------------------------------
+
+    def _send(self, src: Any, dst: Any, msg: IntervalMessage) -> None:
+        self._app += 1
+        src_shard = self.partitioner.worker_of(src)
+        dst_shard = self.partitioner.worker_of(dst)
+        if src_shard == dst_shard:
+            self._local += 1
+        else:
+            self._remote += 1
+            if self.model_network:
+                self._sent_remote.append(msg)
+        if self.model_network:
+            self._sent_all.append(msg)
+        entry = (self._cur_seq, dst, msg)
+        dest_proc = self.shard_to_proc[dst_shard]
+        if dest_proc == self.proc_index:
+            self._pending.append(entry)
+        else:
+            self._out.setdefault(dest_proc, []).append(entry)
+
+    # -- superstep ------------------------------------------------------------
+
+    def step(self, superstep: int, aggregates: dict[str, Any], batches) -> dict[str, Any]:
+        self.superstep = superstep
+        self.processor.superstep = superstep
+        self._aggregates = aggregates
+
+        wire_s = 0.0
+        t_wire = time.perf_counter()
+        entries = self._pending
+        self._pending = []
+        carried_reductions = 0
+        for buf, reductions in batches:
+            entries.extend(decode_routed_batch(buf))
+            carried_reductions += reductions
+        wire_s += time.perf_counter() - t_wire
+
+        # Restore the serial delivery order: stable sort by sender sequence
+        # (per-sender order is already correct within each source list).
+        entries.sort(key=lambda e: e[0])
+        inboxes: dict[Any, list[IntervalMessage]] = {}
+        for _seq, dst, msg in entries:
+            inboxes.setdefault(dst, []).append(msg)
+
+        if superstep == 1:
+            if not self.warm:
+                active = self.vids
+            else:
+                active = [
+                    vid for vid in self.vids
+                    if vid in self.fresh or vid in self.rescatter_windows
+                ]
+        elif self.fixed is not None:
+            active = self.vids
+        else:
+            active = [vid for vid in self.vids if vid in inboxes]
+
+        counts = RunMetrics()  # counter bag for this superstep's deltas
+        counts.combiner_reductions += carried_reductions
+        self._app = 0
+        self._local = 0
+        self._remote = 0
+        self._sent_all: list[IntervalMessage] = []
+        self._sent_remote: list[IntervalMessage] = []
+        self._out: dict[int, list[tuple[int, Any, IntervalMessage]]] = {}
+        self._contribs = []
+        shard_compute: dict[int, float] = {}
+        processor = self.processor
+        worker_of = self.partitioner.worker_of
+
+        t0 = time.perf_counter()
+        for vid in active:
+            ctx = self.contexts[vid]
+            self._cur_seq = self.seq[vid]
+            self._contrib_idx = 0
+            if superstep == 1 and self.warm and vid not in self.fresh:
+                cost = processor.rescatter(
+                    ctx, self.rescatter_windows[vid], counts, self._send
+                )
+            else:
+                cost = processor.process(ctx, inboxes.get(vid, []), counts, self._send)
+            shard = worker_of(vid)
+            shard_compute[shard] = shard_compute.get(shard, 0.0) + cost
+        wall = time.perf_counter() - t0
+
+        combiner = self.program.combiner
+        precombine = (
+            combiner is not None
+            and combiner.selective
+            and processor.enable_receiver_combiner
+        )
+        t_wire = time.perf_counter()
+        out: dict[int, tuple[bytes, int]] = {}
+        for dest, out_entries in self._out.items():
+            reductions = 0
+            if precombine and len(out_entries) > 1:
+                out_entries, reductions = _precombine_entries(
+                    out_entries, combiner, self.seq
+                )
+            out[dest] = (encode_routed_batch(out_entries), reductions)
+        wire_s += time.perf_counter() - t_wire
+
+        if self.model_network:
+            bytes_total = encoded_batch_size(self._sent_all, varint=self.varint)
+            bytes_remote = encoded_batch_size(self._sent_remote, varint=self.varint)
+        else:
+            bytes_total = bytes_remote = 0
+
+        return {
+            "active": len(active),
+            "wall": wall,
+            "wire_s": wire_s,
+            "sent": self._app,
+            "counts": {f: getattr(counts, f) for f in _COUNT_FIELDS},
+            "traffic": {
+                "app": self._app,
+                "local": self._local,
+                "remote": self._remote,
+                "bytes_total": bytes_total,
+                "bytes_remote": bytes_remote,
+            },
+            "shard_compute": shard_compute,
+            "contributions": self._contribs,
+            "out": out,
+        }
+
+    def collect(self) -> dict[Any, Any]:
+        return {vid: ctx._state for vid, ctx in self.contexts.items()}
+
+
+def _worker_main(payload: _ShardPayload, conn) -> None:
+    try:
+        runtime = _WorkerRuntime(payload)
+    except BaseException:
+        conn.send(("error", traceback.format_exc(), None))
+        return
+    while True:
+        try:
+            cmd = conn.recv()
+        except EOFError:
+            break
+        op = cmd[0]
+        if op == "stop":
+            break
+        try:
+            if op == "step":
+                result = runtime.step(cmd[1], cmd[2], cmd[3])
+            elif op == "collect":
+                result = runtime.collect()
+            else:
+                raise RuntimeError(f"unknown worker command {op!r}")
+        except BaseException as exc:
+            try:
+                pickle.dumps(exc)
+            except Exception:
+                exc = None
+            conn.send(("error", traceback.format_exc(), exc))
+        else:
+            conn.send(("ok", result))
+    conn.close()
+
+
+class ParallelExecutor:
+    """Shared-nothing multiprocess execution of the superstep loop.
+
+    Long-lived worker processes are forked once per run holding their
+    partitions' contexts; each superstep is one round trip per worker over a
+    pipe (step command with aggregates and inbound batches out, report with
+    metrics deltas and outbound batches back).  The master folds reports
+    into the cluster's accounting at the barrier so the modeled metrics are
+    identical to a serial run's.
+    """
+
+    name = "parallel"
+
+    def __init__(self, processes: Optional[int] = None):
+        self.processes = processes
+        self._procs: list = []
+        self._conns: list = []
+        self._pending_total = 0
+
+    def start(self, engine, states, fresh, rescatter, warm: bool) -> None:
+        cluster = engine.cluster
+        n_shards = cluster.num_workers
+        procs = self.processes or _default_process_count()
+        procs = max(1, min(procs, n_shards))
+        self._nprocs = procs
+        self._engine = engine
+        shard_to_proc = [s % procs for s in range(n_shards)]
+        partitioner = cluster.partitioner
+
+        per_states: list[dict] = [{} for _ in range(procs)]
+        per_fresh: list[set] = [set() for _ in range(procs)]
+        per_rescatter: list[dict] = [{} for _ in range(procs)]
+        for vid, state in states.items():
+            p = shard_to_proc[partitioner.worker_of(vid)]
+            per_states[p][vid] = state
+            if vid in fresh:
+                per_fresh[p].add(vid)
+            if vid in rescatter:
+                per_rescatter[p][vid] = rescatter[vid]
+
+        # fork inherits the graph/program/states copy-on-write — no pickling
+        # of the (potentially large) payload; spawn platforms pickle it.
+        methods = mp.get_all_start_methods()
+        ctx = mp.get_context("fork" if "fork" in methods else None)
+        self._procs = []
+        self._conns = []
+        processor_args = engine.processor_args()
+        for p in range(procs):
+            payload = _ShardPayload(
+                graph=engine.graph,
+                program=engine.program,
+                compute_model=cluster.compute_model,
+                partitioner=partitioner,
+                seq=engine._seq,
+                shard_to_proc=shard_to_proc,
+                proc_index=p,
+                states=per_states[p],
+                fresh=per_fresh[p],
+                rescatter=per_rescatter[p],
+                warm=warm,
+                model_network=cluster.model_network,
+                varint=cluster.varint_encoding,
+                processor_args=processor_args,
+            )
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(target=_worker_main, args=(payload, child_conn), daemon=True)
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+        self._inbound: list[list] = [[] for _ in range(procs)]
+        self._pending_total = 0
+
+    def has_pending(self) -> bool:
+        return self._pending_total > 0
+
+    def _recv_all(self) -> list:
+        replies = []
+        for i, conn in enumerate(self._conns):
+            try:
+                reply = conn.recv()
+            except EOFError:
+                raise RuntimeError(f"parallel worker {i} died unexpectedly") from None
+            if reply[0] == "error":
+                _, tb, exc = reply
+                if exc is not None:
+                    raise exc
+                raise RuntimeError(f"parallel worker {i} failed:\n{tb}")
+            replies.append(reply[1])
+        return replies
+
+    def run_superstep(self, superstep: int, metrics: RunMetrics) -> int:
+        engine = self._engine
+        cluster = engine.cluster
+        cluster.begin_superstep(superstep)
+
+        aggregates = engine._aggregates
+        t0 = time.perf_counter()
+        for i, conn in enumerate(self._conns):
+            conn.send(("step", superstep, aggregates, self._inbound[i]))
+        self._inbound = [[] for _ in range(self._nprocs)]
+        reports = self._recv_all()
+        compute_wall = time.perf_counter() - t0
+
+        total_active = 0
+        pending = 0
+        exchange_bytes = 0
+        step_compute_calls = 0
+        step_scatter_calls = 0
+        walls: list[float] = []
+        wires: list[float] = []
+        contribs: list[tuple[int, int, str, Any]] = []
+        for rep in reports:
+            total_active += rep["active"]
+            pending += rep["sent"]
+            walls.append(rep["wall"])
+            wires.append(rep["wire_s"])
+            for dest, (buf, reductions) in rep["out"].items():
+                self._inbound[dest].append((buf, reductions))
+                exchange_bytes += len(buf)
+            traffic = rep["traffic"]
+            cluster.record_traffic(
+                metrics,
+                app=traffic["app"],
+                local=traffic["local"],
+                remote=traffic["remote"],
+                bytes_total=traffic["bytes_total"],
+                bytes_remote=traffic["bytes_remote"],
+            )
+            for shard, seconds in rep["shard_compute"].items():
+                cluster.add_shard_compute(shard, seconds)
+            counts = rep["counts"]
+            step_compute_calls += counts["compute_calls"]
+            step_scatter_calls += counts["scatter_calls"]
+            for name in _COUNT_FIELDS:
+                setattr(metrics, name, getattr(metrics, name) + counts[name])
+            contribs.extend(rep["contributions"])
+
+        # Replay aggregate contributions in the serial fold order: by
+        # contributing vertex, then call order within the vertex.
+        contribs.sort(key=lambda c: (c[0], c[1]))
+        for _seq, _idx, name, value in contribs:
+            engine.contribute_aggregate(name, value)
+
+        self._pending_total = pending
+        wall_max = max(walls, default=0.0)
+        wire_max = max(wires, default=0.0)
+        metrics.compute_plus_time += compute_wall
+        metrics.worker_wall_time += wall_max
+        metrics.exchange_time += wire_max
+        metrics.exchange_bytes += exchange_bytes
+        metrics.peak_inflight_messages = max(metrics.peak_inflight_messages, pending)
+
+        step = cluster.end_superstep(metrics)
+        step.compute_time = compute_wall
+        step.worker_wall_times = walls
+        step.exchange_time = wire_max
+        step.exchange_bytes = exchange_bytes
+        step.compute_calls = step_compute_calls
+        step.scatter_calls = step_scatter_calls
+        return total_active
+
+    def collect_states(self) -> dict[Any, Any]:
+        for conn in self._conns:
+            conn.send(("collect",))
+        merged: dict[Any, Any] = {}
+        for states in self._recv_all():
+            merged.update(states)
+        seq = self._engine._seq
+        return {vid: merged[vid] for vid in sorted(merged, key=seq.__getitem__)}
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except Exception:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - crash cleanup
+                proc.terminate()
+                proc.join(timeout=10)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except Exception:
+                pass
+        self._procs = []
+        self._conns = []

@@ -35,6 +35,15 @@ class SuperstepMetrics:
     compute_time: float = 0.0
     messaging_time: float = 0.0
     max_worker_compute_time: float = 0.0
+    #: *Measured* wall-clock per executor worker for this superstep's
+    #: compute phase (one entry for the serial executor); complements the
+    #: modeled ``max_worker_compute_time``.
+    worker_wall_times: list[float] = field(default_factory=list)
+    #: Measured wall-clock the barrier exchange spent moving messages
+    #: between worker processes (0 for the serial executor).
+    exchange_time: float = 0.0
+    #: Real bytes crossing process boundaries at the barrier (0 serial).
+    exchange_bytes: int = 0
 
 
 @dataclass
@@ -44,6 +53,8 @@ class RunMetrics:
     platform: str = ""
     algorithm: str = ""
     graph: str = ""
+    #: Which executor ran the supersteps ("serial" or "parallel").
+    executor: str = "serial"
 
     compute_calls: int = 0
     scatter_calls: int = 0
@@ -66,6 +77,13 @@ class RunMetrics:
     compute_plus_time: float = 0.0
     #: Modeled distributed compute time: Σ per-superstep max-worker cost.
     modeled_compute_time: float = 0.0
+    #: *Measured* compute wall-time: Σ per-superstep max worker wall-clock
+    #: (equals ``compute_plus_time`` for the serial executor).
+    worker_wall_time: float = 0.0
+    #: Measured wall-time of the parallel barrier exchange (0 serial).
+    exchange_time: float = 0.0
+    #: Real bytes shipped between worker processes (0 serial).
+    exchange_bytes: int = 0
     messaging_time: float = 0.0
     barrier_time: float = 0.0
     load_time: float = 0.0
@@ -92,6 +110,9 @@ class RunMetrics:
         self.shared_messages += other.shared_messages
         self.compute_plus_time += other.compute_plus_time
         self.modeled_compute_time += other.modeled_compute_time
+        self.worker_wall_time += other.worker_wall_time
+        self.exchange_time += other.exchange_time
+        self.exchange_bytes += other.exchange_bytes
         self.messaging_time += other.messaging_time
         self.barrier_time += other.barrier_time
         self.load_time += other.load_time

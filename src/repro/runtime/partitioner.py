@@ -17,18 +17,25 @@ class HashPartitioner:
 
     Python's builtin ``hash`` is salted per process for strings, so we hash
     the id's string form with CRC32 — stable across runs and processes,
-    which keeps benchmarks reproducible.
+    which keeps benchmarks reproducible.  ``seed`` perturbs the assignment
+    (it seeds the CRC register) so tests and ablations can exercise
+    different vertex→worker layouts without changing the partitioning
+    scheme; ``seed=0`` reproduces the historical assignment exactly.
     """
 
-    def __init__(self, num_workers: int):
+    def __init__(self, num_workers: int, seed: int = 0):
         if num_workers < 1:
             raise ValueError("need at least one worker")
         self.num_workers = num_workers
+        self.seed = seed
+        self._crc_init = seed & 0xFFFFFFFF
 
     def worker_of(self, vid: Any) -> int:
-        return zlib.crc32(repr(vid).encode("utf-8")) % self.num_workers
+        return zlib.crc32(repr(vid).encode("utf-8"), self._crc_init) % self.num_workers
 
     def __repr__(self) -> str:
+        if self.seed:
+            return f"HashPartitioner({self.num_workers}, seed={self.seed})"
         return f"HashPartitioner({self.num_workers})"
 
 

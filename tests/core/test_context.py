@@ -37,7 +37,9 @@ class Probe(IntervalProgram):
 class TestVertexContext:
     @pytest.fixture()
     def ctx(self):
-        IntervalCentricEngine(degree_graph(), Probe()).run()
+        # Captures the live context object from inside compute — only
+        # meaningful in-process, so the serial executor is pinned.
+        IntervalCentricEngine(degree_graph(), Probe(), executor="serial").run()
         return Probe.captured
 
     def test_static_attributes(self, ctx):
@@ -117,5 +119,5 @@ class TestVertexPropertyAccess:
                 seen[3] = ctx.vertex_property("kind", 3)
                 seen[7] = ctx.vertex_property("kind", 7)
 
-        IntervalCentricEngine(g, P()).run()
+        IntervalCentricEngine(g, P(), executor="serial").run()
         assert seen == {3: "x", 7: "y"}

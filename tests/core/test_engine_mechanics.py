@@ -93,7 +93,8 @@ class TestAggregatorsAndMaster:
                 if ctx.state.value_at(0) < FOREVER:
                     ctx.aggregate("reached", 1)
 
-        IntervalCentricEngine(line_graph(), Agg()).run()
+        # White-box observation via the `observed` closure: in-process only.
+        IntervalCentricEngine(line_graph(), Agg(), executor="serial").run()
         # superstep 2 sees superstep 1's reduction: only v0 contributed
         # (and only *active* vertices contribute, so each later superstep
         # reduces exactly the frontier vertex's contribution).
@@ -139,7 +140,7 @@ class TestAggregatorsAndMaster:
                 if master.superstep == 1:
                     master.set_aggregate("x", 42)
 
-        IntervalCentricEngine(line_graph(), Overrider()).run()
+        IntervalCentricEngine(line_graph(), Overrider(), executor="serial").run()
         assert seen["x"] == 42
 
 
@@ -159,7 +160,7 @@ class TestDirectMessaging:
                 for m in messages:
                     received.append((ctx.vertex_id, interval, m))
 
-        result = IntervalCentricEngine(line_graph(), Pinger()).run()
+        result = IntervalCentricEngine(line_graph(), Pinger(), executor="serial").run()
         assert received == [("v3", Interval(2, 5), "hello")]
         assert result.metrics.messages_sent == 1
 
@@ -292,7 +293,8 @@ class TestVertexPropertyPrepartitioning:
                 return None
 
         IntervalCentricEngine(
-            self.make_graph(), Probe(), prepartition_by_vertex_properties=True
+            self.make_graph(), Probe(), prepartition_by_vertex_properties=True,
+            executor="serial",
         ).run()
         assert (("a", Interval(0, 4), "red")) in calls
         assert (("a", Interval(4, 12), "blue")) in calls
@@ -310,7 +312,7 @@ class TestVertexPropertyPrepartitioning:
             def scatter(self, ctx, edge, interval, state):
                 return None
 
-        IntervalCentricEngine(self.make_graph(), Probe()).run()
+        IntervalCentricEngine(self.make_graph(), Probe(), executor="serial").run()
         assert len(calls) == 2
 
 

@@ -39,6 +39,7 @@ def trace():
     engine = IntervalCentricEngine(
         graph, program, graph_name="transit",
         enable_warp_combiner=False,  # keep full message groups observable
+        executor="serial",  # the program logs calls in-process
     )
     result = engine.run()
     return program, result

@@ -1,0 +1,143 @@
+"""Parallel executor returns results bit-identical to serial (every algorithm).
+
+The determinism contract (``repro.runtime.executor``): both executors walk
+active vertices in canonical graph order, receivers restore serial delivery
+order by sender sequence, aggregates fold in (vertex, call) order, and
+per-shard modeled compute sums in the same order serial would use.  These
+tests hold the contract across the whole algorithm matrix.
+"""
+
+import pytest
+
+from repro.algorithms import ALL_ALGORITHMS, run_algorithm
+from repro.core.engine import IcmProgramError, IntervalCentricEngine
+from repro.core.interval import Interval
+from repro.core.program import IntervalProgram
+from repro.core.tracing import ExecutionTracer
+from repro.datasets import transit_graph
+from repro.runtime.cluster import SimulatedCluster
+from repro.runtime.executor import (
+    ParallelExecutor,
+    SerialExecutor,
+    resolve_executor,
+)
+
+PARALLEL = {"executor": "parallel", "executor_processes": 2}
+
+#: Metric fields that must match *exactly* between the executors.
+EXACT_FIELDS = (
+    "supersteps",
+    "compute_calls",
+    "scatter_calls",
+    "messages_sent",
+    "system_messages",
+    "message_bytes",
+    "local_messages",
+    "remote_messages",
+    "warp_calls",
+    "warp_suppressed_vertices",
+    "combiner_reductions",
+    "peak_inflight_messages",
+    "modeled_makespan",  # bitwise: same floats folded in the same order
+    "modeled_compute_time",
+    "messaging_time",
+    "barrier_time",
+)
+
+
+def _partitions(result):
+    """Comparable snapshot of a run's per-vertex partitioned states."""
+    states = result.components if hasattr(result, "components") else result.states
+    return {vid: list(state) for vid, state in states.items()}
+
+
+def _run(algorithm, **icm_options):
+    # The serial reference is pinned explicitly so the comparison stays
+    # meaningful under REPRO_EXECUTOR=parallel test sweeps.
+    return run_algorithm(
+        algorithm, "GRAPHITE", transit_graph(),
+        cluster=SimulatedCluster(5), graph_name="transit",
+        icm_options=icm_options or {"executor": "serial"},
+    )
+
+
+@pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+def test_parallel_matches_serial(algorithm):
+    serial = _run(algorithm)
+    parallel = _run(algorithm, **PARALLEL)
+
+    assert _partitions(serial.result) == _partitions(parallel.result)
+    if hasattr(serial.result, "aggregates"):
+        assert serial.result.aggregates == parallel.result.aggregates
+    for fld in EXACT_FIELDS:
+        assert getattr(serial.metrics, fld) == getattr(parallel.metrics, fld), fld
+
+
+def test_executor_recorded_in_metrics():
+    assert _run("BFS").metrics.executor == "serial"
+    assert _run("BFS", **PARALLEL).metrics.executor == "parallel"
+
+
+def test_parallel_worker_wall_times_per_process():
+    metrics = _run("SSSP", **PARALLEL).metrics
+    for step in metrics.supersteps_detail:
+        assert len(step.worker_wall_times) == 2
+
+
+def test_resolve_executor(monkeypatch):
+    monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+    monkeypatch.delenv("REPRO_EXECUTOR_PROCESSES", raising=False)
+    assert resolve_executor(None).name == "serial"
+    assert resolve_executor("serial").name == "serial"
+    parallel = resolve_executor("parallel", 3)
+    assert parallel.name == "parallel" and parallel.processes == 3
+    inst = SerialExecutor()
+    assert resolve_executor(inst) is inst
+    with pytest.raises(ValueError, match="unknown executor"):
+        resolve_executor("threads")
+
+
+def test_resolve_executor_env(monkeypatch):
+    monkeypatch.setenv("REPRO_EXECUTOR", "parallel")
+    monkeypatch.setenv("REPRO_EXECUTOR_PROCESSES", "2")
+    executor = resolve_executor(None)
+    assert isinstance(executor, ParallelExecutor)
+    assert executor.processes == 2
+
+
+def test_tracer_rejects_parallel_executor():
+    with pytest.raises(ValueError, match="serial"):
+        resolve_executor("parallel", tracer=ExecutionTracer())
+
+
+def test_tracer_overrides_env_forced_parallel(monkeypatch):
+    # REPRO_EXECUTOR=parallel is a sweep-wide default, not an explicit ask:
+    # traced runs fall back to serial instead of failing.
+    monkeypatch.setenv("REPRO_EXECUTOR", "parallel")
+    assert resolve_executor(None, tracer=ExecutionTracer()).name == "serial"
+
+
+class _Exploding(IntervalProgram):
+    """Raises inside compute on a specific vertex — in the worker process."""
+
+    name = "boom"
+
+    def init(self, ctx):
+        ctx.set_state(Interval(0, 4), 0)
+
+    def compute(self, ctx, interval, state, messages):
+        if ctx.superstep >= 2:
+            raise RuntimeError("kaboom in worker")
+        ctx.set_state(interval, 1)
+
+    def scatter(self, ctx, edge, interval, state):
+        return [(interval, state)]
+
+
+def test_worker_error_surfaces_as_program_error():
+    engine = IntervalCentricEngine(
+        transit_graph(), _Exploding(), cluster=SimulatedCluster(5),
+        executor="parallel", executor_processes=2,
+    )
+    with pytest.raises(IcmProgramError, match="compute"):
+        engine.run()
