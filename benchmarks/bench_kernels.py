@@ -18,7 +18,13 @@ Times the engine's four hot kernels on synthetic workloads —
                     depends on physical cores, so the result records the
                     core count: the acceptance floor only binds on ≥4-core
                     machines, and baseline comparisons are skipped when the
-                    baseline came from a different core count.
+                    baseline came from a different core count;
+* **checkpoint**  — the same engine workload with barrier checkpointing
+                    (``checkpoint_every=4``) against the plain run, after
+                    asserting identical states.  The gated metric is the
+                    *overhead ratio* (checkpointed / plain wall-clock),
+                    hardware-independent like a speedup; full mode enforces
+                    a hard <15% ceiling.
 
 Results are written to ``BENCH_kernels.json`` at the repository root: a
 committed **baseline** plus a bounded run **history**, so the repo carries
@@ -41,7 +47,9 @@ import argparse
 import json
 import os
 import random
+import shutil
 import sys
+import tempfile
 import time
 from datetime import datetime, timezone
 from pathlib import Path
@@ -73,6 +81,9 @@ RESULTS_PATH = REPO_ROOT / "BENCH_kernels.json"
 REGRESSION_TOLERANCE = {"full": 0.20, "smoke": 0.50}
 HISTORY_LIMIT = 50
 SPEEDUP_FLOOR = {"warp_10k": 3.0, "engine_parallel": 1.7}  # acceptance bars
+#: Hard ceiling on overhead-style metrics (checkpointed / plain wall-clock).
+#: The checkpoint cadence of 4 must cost <15% on the 10k-message workload.
+OVERHEAD_CAP = {"checkpoint_overhead": 1.15}
 #: Parallel-executor floors only bind when this many cores are available —
 #: below that the speedup is physically out of reach.
 FLOOR_MIN_CORES = 4
@@ -302,11 +313,59 @@ def bench_engine_parallel(sizes, repeats):
     }
 
 
+def bench_checkpoint_overhead(sizes, repeats):
+    """Barrier checkpointing (cadence 4) vs the plain serial run.
+
+    The ratio is hardware-independent: both runs execute the identical
+    superstep schedule, so the quotient isolates the snapshot + encode +
+    fsync-free atomic-rename cost of `repro.runtime.checkpoint`.
+    """
+    graph = _build_engine_workload(sizes)
+    shards = sizes["engine_shards"]
+    supersteps = sizes["engine_supersteps"]
+
+    def run(checkpoint_dir=None):
+        engine = IntervalCentricEngine(
+            graph, _FloodMin(supersteps), cluster=SimulatedCluster(shards),
+            executor="serial",
+            # 0 disables checkpointing outright (immune to env knobs).
+            checkpoint_every=4 if checkpoint_dir else 0,
+            checkpoint_dir=checkpoint_dir,
+        )
+        return engine.run()
+
+    ckpt_dir = tempfile.mkdtemp(prefix="bench-ckpt-")
+    try:
+        plain = run()
+        ckpt = run(ckpt_dir)
+        assert {v: list(s) for v, s in plain.states.items()} == \
+               {v: list(s) for v, s in ckpt.states.items()}, (
+            "checkpointed engine run diverged from the plain run"
+        )
+        assert ckpt.metrics.recovery.checkpoints_written > 0, (
+            "checkpoint cadence never fired on the bench workload"
+        )
+        plain_s = best_of(run, repeats)
+        ckpt_s = best_of(lambda: run(ckpt_dir), repeats)
+    finally:
+        shutil.rmtree(ckpt_dir, ignore_errors=True)
+    return {
+        "opt_s": ckpt_s,
+        "ref_s": plain_s,
+        "overhead": ckpt_s / plain_s,
+        "checkpoints": ckpt.metrics.recovery.checkpoints_written,
+        "checkpoint_bytes": ckpt.metrics.recovery.checkpoint_bytes,
+        "messages": plain.metrics.messages_sent,
+    }
+
+
 # -- gate ----------------------------------------------------------------------
 
 
 def gate_metric(kernel: str, result: dict) -> tuple[str, float, bool]:
     """(metric name, value, higher_is_better) used for regression checks."""
+    if "overhead" in result:
+        return "overhead", result["overhead"], False
     if "speedup" in result:
         return "speedup", result["speedup"], True
     return "normalized", result["normalized"], False
@@ -317,6 +376,11 @@ def check_regressions(results: dict, baseline: dict, mode: str) -> list[str]:
     tolerance = REGRESSION_TOLERANCE[mode]
     for kernel, result in results.items():
         metric, value, higher_better = gate_metric(kernel, result)
+        cap = OVERHEAD_CAP.get(kernel)
+        if cap is not None and metric == "overhead" and mode == "full" and value > cap:
+            failures.append(
+                f"{kernel}: overhead {value:.3f}x above the {cap:.2f}x hard ceiling"
+            )
         floor = SPEEDUP_FLOOR.get(kernel)
         if floor is not None and metric == "speedup" and mode == "full" and value < floor:
             if result.get("cores", FLOOR_MIN_CORES) < FLOOR_MIN_CORES:
@@ -388,10 +452,19 @@ def main(argv=None) -> int:
         ("scatter_merge_join", lambda: bench_scatter(sizes, repeats)),
         ("encode_roundtrip", lambda: bench_encode(sizes, repeats, calib)),
         ("engine_parallel", lambda: bench_engine_parallel(sizes, repeats)),
+        ("checkpoint_overhead", lambda: bench_checkpoint_overhead(sizes, repeats)),
     ):
         result = fn()
         results[name] = result
-        if "speedup" in result:
+        if "overhead" in result:
+            print(
+                f"  {name:20s} opt {result['opt_s'] * 1e3:8.2f} ms   "
+                f"ref {result['ref_s'] * 1e3:9.2f} ms   "
+                f"overhead {result['overhead']:5.3f}x   "
+                f"({result['checkpoints']} ckpts, "
+                f"{result['checkpoint_bytes']} bytes)"
+            )
+        elif "speedup" in result:
             extra = (
                 f"   ({result['processes']} procs / {result['cores']} cores, "
                 f"{result['messages']} msgs)"
@@ -417,6 +490,13 @@ def main(argv=None) -> int:
         if args.update_baseline or not store["baseline"].get(mode):
             store["baseline"][mode] = results
             print(f"  baseline[{mode}] {'updated' if args.update_baseline else 'recorded'}")
+        else:
+            # Adopt kernels the committed baseline has never seen (a newly
+            # added bench case) without disturbing the existing numbers.
+            for kernel, result in results.items():
+                if kernel not in store["baseline"][mode]:
+                    store["baseline"][mode][kernel] = result
+                    print(f"  baseline[{mode}] adopted new kernel {kernel}")
         store.setdefault("history", []).append(
             {
                 "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),

@@ -84,12 +84,23 @@ def run_algorithm(
     horizon: Optional[int] = None,
     batch_size: Optional[int] = None,
     icm_options: Optional[dict[str, Any]] = None,
+    resume_from: Optional[str] = None,
 ) -> RunOutcome:
-    """Execute one (algorithm, platform) cell of the evaluation matrix."""
+    """Execute one (algorithm, platform) cell of the evaluation matrix.
+
+    ``resume_from`` continues a GRAPHITE run from a checkpoint directory
+    (see `repro.runtime.checkpoint`); it applies to single-engine GRAPHITE
+    algorithms only — SCC's peeling loop runs many engines per call.
+    """
     if algorithm not in ALL_ALGORITHMS:
         raise ValueError(f"unknown algorithm {algorithm!r}")
     if platform not in platforms_for(algorithm):
         raise ValueError(f"{platform} does not run {algorithm} in the paper's matrix")
+    if resume_from is not None and (platform != "GRAPHITE" or algorithm == "SCC"):
+        raise ValueError(
+            "resume_from requires a single-engine GRAPHITE run "
+            f"(got {platform}/{algorithm})"
+        )
     cluster = cluster or SimulatedCluster()
     if horizon is None:
         horizon = graph.time_horizon()
@@ -105,7 +116,7 @@ def run_algorithm(
         engine = IntervalCentricEngine(
             g, program, cluster=cluster, graph_name=graph_name, **icm_options
         )
-        return engine.run()
+        return engine.run(resume_from=resume_from)
 
     # --- TI ------------------------------------------------------------------
     if algorithm == "BFS":

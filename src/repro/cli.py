@@ -62,6 +62,10 @@ def _icm_options(args: argparse.Namespace) -> dict:
         options["executor"] = args.executor
     if getattr(args, "processes", None) is not None:
         options["executor_processes"] = args.processes
+    if getattr(args, "checkpoint_every", None) is not None:
+        options["checkpoint_every"] = args.checkpoint_every
+    if getattr(args, "checkpoint_dir", None) is not None:
+        options["checkpoint_dir"] = args.checkpoint_dir
     return options
 
 
@@ -72,6 +76,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         cluster=SimulatedCluster(args.workers),
         graph_name=args.dataset,
         icm_options=_icm_options(args),
+        resume_from=args.resume,
     )
     print(f"{args.algorithm} on {args.dataset} "
           f"({graph.num_vertices} vertices, {graph.num_edges} edges):")
@@ -207,6 +212,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="run one algorithm on one platform")
     p_run.add_argument("algorithm", choices=ALL_ALGORITHMS)
     p_run.add_argument("--platform", default="GRAPHITE")
+    p_run.add_argument("--checkpoint-every", type=int, default=None,
+                       metavar="N",
+                       help="write a checkpoint every N supersteps "
+                            "(GRAPHITE; default: REPRO_CHECKPOINT_EVERY or off)")
+    p_run.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="checkpoint directory (default: REPRO_CHECKPOINT_DIR "
+                            "or a temporary directory)")
+    p_run.add_argument("--resume", default=None, metavar="DIR",
+                       help="resume a GRAPHITE run from a checkpoint directory "
+                            "written by --checkpoint-every; continues at "
+                            "superstep N+1 with bit-identical results")
     add_common(p_run)
     p_run.set_defaults(fn=cmd_run)
 

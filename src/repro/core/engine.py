@@ -30,6 +30,9 @@ worker processes and exchanges messages at the barrier.
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
 import time
 from bisect import bisect_right
 from dataclasses import dataclass, field
@@ -433,6 +436,29 @@ class VertexProcessor:
         return cost
 
 
+def _resolve_checkpoint_every(value: Optional[int]) -> Optional[int]:
+    """Validate the checkpoint cadence, falling back to the environment."""
+    if value is None:
+        env = os.environ.get("REPRO_CHECKPOINT_EVERY")
+        if not env:
+            return None
+        try:
+            value = int(env)
+        except ValueError:
+            raise ValueError(
+                f"invalid REPRO_CHECKPOINT_EVERY={env!r} "
+                "(expected a non-negative integer)"
+            ) from None
+        if value < 0:
+            raise ValueError(
+                f"invalid REPRO_CHECKPOINT_EVERY={env!r} "
+                "(expected a non-negative integer)"
+            )
+    elif value < 0:
+        raise ValueError(f"checkpoint_every must be >= 0, got {value}")
+    return value or None  # 0 disables
+
+
 class IntervalCentricEngine:
     """Run an :class:`IntervalProgram` over a temporal graph.
 
@@ -464,6 +490,20 @@ class IntervalCentricEngine:
         Worker-process count for the parallel executor (``None``: the
         ``REPRO_EXECUTOR_PROCESSES`` environment variable, else one per
         available core, capped at ``cluster.num_workers``).
+    checkpoint_every:
+        Write a barrier-synchronized checkpoint every N supersteps
+        (`repro.runtime.checkpoint`).  ``None`` reads the
+        ``REPRO_CHECKPOINT_EVERY`` environment variable; 0/unset disables
+        checkpointing (the default).
+    checkpoint_dir:
+        Where checkpoints live.  ``None`` reads ``REPRO_CHECKPOINT_DIR``;
+        if checkpointing is on and no directory is given anywhere, a
+        temporary directory is used and removed when the run finishes
+        (checkpoints then only serve in-run crash recovery).
+    max_restarts:
+        How many worker-process deaths :meth:`run` absorbs by rolling back
+        to the latest checkpoint (or superstep 1 when none exists) before
+        giving up with ``UnrecoverableRunError``.
     """
 
     def __init__(
@@ -485,6 +525,9 @@ class IntervalCentricEngine:
         tracer=None,
         executor: Any = None,
         executor_processes: Optional[int] = None,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_dir: Optional[str] = None,
+        max_restarts: int = 2,
     ):
         self.graph = graph
         self.program = program
@@ -507,6 +550,13 @@ class IntervalCentricEngine:
         self.tracer = tracer
         self.executor = executor
         self.executor_processes = executor_processes
+        self.checkpoint_every = _resolve_checkpoint_every(checkpoint_every)
+        self.checkpoint_dir = (
+            checkpoint_dir
+            if checkpoint_dir is not None
+            else os.environ.get("REPRO_CHECKPOINT_DIR") or None
+        )
+        self.max_restarts = max_restarts
 
         self.superstep = 0
         self._aggregates: dict[str, Any] = {}
@@ -572,6 +622,7 @@ class IntervalCentricEngine:
         *,
         warm_states: Optional[dict[Any, PartitionedState]] = None,
         rescatter: Optional[dict[Any, list[Interval]]] = None,
+        resume_from: Optional[str] = None,
     ) -> IcmResult:
         """Execute to convergence and return states plus metrics.
 
@@ -587,43 +638,186 @@ class IntervalCentricEngine:
             Vertex → interval windows whose current state should be
             scattered again in superstep 1 (e.g. over newly added edges).
             Only meaningful together with ``warm_states``.
+        resume_from:
+            A checkpoint directory (a ``step-*`` checkpoint or a root
+            holding them) written by a previous run of the *same*
+            configuration — validated via the config fingerprint.  The run
+            continues from superstep N+1 and produces states, aggregates,
+            counters and modeled times bit-identical to an uninterrupted
+            run.  Checkpoints are executor-portable: a serial checkpoint
+            may be resumed under the parallel executor and vice versa.
+
+        When ``checkpoint_every`` is set, worker-process deaths
+        (:class:`~repro.runtime.faults.WorkerDiedError`) are absorbed by
+        rolling back to the latest checkpoint and replaying, up to
+        ``max_restarts`` times; without checkpoints the whole run is
+        replayed from superstep 1.  Durability costs are reported in
+        ``metrics.recovery``, never in the modeled quantities.
         """
+        from repro.runtime.checkpoint import (
+            CheckpointError,
+            clear_checkpoints,
+            config_fingerprint,
+            latest_checkpoint,
+            load_checkpoint,
+        )
         from repro.runtime.executor import resolve_executor
+        from repro.runtime.faults import UnrecoverableRunError, WorkerDiedError
+        from repro.runtime.metrics import RecoveryMetrics
 
         executor = resolve_executor(
             self.executor, self.executor_processes, tracer=self.tracer
         )
-        metrics = RunMetrics(
-            platform="GRAPHITE",
-            algorithm=self.program.name,
-            graph=self.graph_name,
-            executor=executor.name,
-        )
+        rescatter = rescatter or {}
+        if resume_from is not None and warm_states is not None:
+            raise ValueError("resume_from and warm_states are mutually exclusive")
+
+        self._seq = {v.vid: i for i, v in enumerate(self.graph.vertices())}
+
+        checkpointing = self.checkpoint_every is not None
+        ckpt_dir = self.checkpoint_dir
+        own_dir: Optional[str] = None
+        if checkpointing and ckpt_dir is None:
+            own_dir = ckpt_dir = tempfile.mkdtemp(prefix="repro-ckpt-")
+        config_hash = ""
+        if checkpointing or resume_from is not None:
+            config_hash = config_fingerprint(self)
+
+        def _load_validated(path) -> Any:
+            ckpt = load_checkpoint(path, coalesce=self.coalesce_states)
+            if ckpt.config_hash != config_hash:
+                raise CheckpointError(
+                    f"checkpoint {ckpt.path} was written by a different "
+                    f"configuration (config hash {ckpt.config_hash[:12]}… vs "
+                    f"this engine's {config_hash[:12]}…); refusing to resume"
+                )
+            if set(ckpt.states) != set(self._seq):
+                raise CheckpointError(
+                    f"checkpoint {ckpt.path} covers {len(ckpt.states)} vertices "
+                    f"but the graph has {len(self._seq)}"
+                )
+            return ckpt
+
+        resume_ckpt = _load_validated(resume_from) if resume_from is not None else None
+        if checkpointing and resume_from is None:
+            # A fresh checkpointed run owns its directory: stale steps from
+            # an earlier run (e.g. SCC's peeling sub-runs sharing one dir)
+            # must not be mistaken for this run's rollback points.
+            clear_checkpoints(ckpt_dir)
+
+        recovery = RecoveryMetrics()
+        start_ckpt = resume_ckpt
+        try:
+            while True:
+                try:
+                    result = self._run_attempt(
+                        executor,
+                        warm_states,
+                        rescatter,
+                        start_ckpt,
+                        ckpt_dir if checkpointing else None,
+                        config_hash,
+                        recovery,
+                    )
+                    break
+                except WorkerDiedError as died:
+                    executor.abort()
+                    recovery.restarts += 1
+                    if recovery.restarts > self.max_restarts:
+                        raise UnrecoverableRunError(
+                            f"worker failure persisted after {self.max_restarts} "
+                            f"restart(s): {died}"
+                        ) from died
+                    t0 = time.perf_counter()
+                    latest = latest_checkpoint(ckpt_dir) if checkpointing else None
+                    if latest is not None:
+                        start_ckpt = _load_validated(latest)
+                        rollback_to = start_ckpt.superstep
+                    else:
+                        # No checkpoint yet — replay the whole run (from the
+                        # resume point, when this run itself was a resume).
+                        start_ckpt = resume_ckpt
+                        rollback_to = resume_ckpt.superstep if resume_ckpt else 0
+                    recovery.replayed_supersteps += max(
+                        0, died.superstep - rollback_to
+                    )
+                    recovery.recovery_seconds += time.perf_counter() - t0
+        finally:
+            if own_dir is not None:
+                shutil.rmtree(own_dir, ignore_errors=True)
+        result.metrics.recovery = recovery
+        return result
+
+    def _run_attempt(
+        self,
+        executor,
+        warm_states,
+        rescatter,
+        start_ckpt,
+        ckpt_dir,
+        config_hash: str,
+        recovery,
+    ) -> IcmResult:
+        """One execution attempt: fresh, resumed, or a recovery replay."""
+        from repro.runtime.checkpoint import restore_metrics, write_checkpoint
+
+        if start_ckpt is None:
+            metrics = RunMetrics(
+                platform="GRAPHITE",
+                algorithm=self.program.name,
+                graph=self.graph_name,
+                executor=executor.name,
+            )
+        else:
+            metrics = restore_metrics(start_ckpt.metrics, executor=executor.name)
+            metrics.platform = metrics.platform or "GRAPHITE"
+            metrics.algorithm = metrics.algorithm or self.program.name
+            metrics.graph = metrics.graph or self.graph_name
         self._metrics = metrics
         self.cluster.reset()
-        rescatter = rescatter or {}
+        self._next_aggregates = {}
 
         t_load = time.perf_counter()
         states: dict[Any, PartitionedState] = {}
         fresh: set[Any] = set()
-        self._seq = {}
-        for i, v in enumerate(self.graph.vertices()):
-            self._seq[v.vid] = i
-            if warm_states is not None and v.vid in warm_states:
-                state = warm_states[v.vid].copy()
-            else:
-                state = PartitionedState(v.lifespan, None, coalesce=self.coalesce_states)
-                if self.prepartition_by_vertex_properties:
-                    state.presplit(v.properties.boundaries())
-                fresh.add(v.vid)
-            states[v.vid] = state
-        metrics.load_time = time.perf_counter() - t_load
+        if start_ckpt is None:
+            for v in self.graph.vertices():
+                if warm_states is not None and v.vid in warm_states:
+                    state = warm_states[v.vid].copy()
+                else:
+                    state = PartitionedState(
+                        v.lifespan, None, coalesce=self.coalesce_states
+                    )
+                    if self.prepartition_by_vertex_properties:
+                        state.presplit(v.properties.boundaries())
+                    fresh.add(v.vid)
+                states[v.vid] = state
+            warm = warm_states is not None
+            self._aggregates = {}
+            start_superstep = 1
+        else:
+            # Checkpointed states come back in graph enumeration order so
+            # every downstream canonical-order walk matches a fresh start.
+            states = {vid: start_ckpt.states[vid] for vid in self._seq}
+            warm = False
+            rescatter = {}
+            self._aggregates = dict(start_ckpt.aggregates)
+            start_superstep = start_ckpt.superstep + 1
+        if start_ckpt is None:
+            metrics.load_time = time.perf_counter() - t_load
 
         fixed = self.program.fixed_supersteps
-        executor.start(self, states, fresh, rescatter, warm=warm_states is not None)
+        executor.start(self, states, fresh, rescatter, warm=warm)
         try:
+            if start_ckpt is not None:
+                executor.restore_pending(start_ckpt.pending)
+                # Worker-local combiner folds already staged in the
+                # checkpointed messages; the serial run credits them at the
+                # receiving superstep, which will not re-run — credit them
+                # here, once, executor-independently.
+                metrics.combiner_reductions += start_ckpt.carried_reductions
             t_run = time.perf_counter()
-            self.superstep = 1
+            self.superstep = start_superstep
             while True:
                 if self.superstep > self.max_supersteps:
                     raise RuntimeError(
@@ -643,12 +837,31 @@ class IntervalCentricEngine:
                 self._aggregates.update(master._overrides)
                 if master._halt:
                     break
+                if (
+                    ckpt_dir is not None
+                    and self.superstep % self.checkpoint_every == 0
+                ):
+                    info = write_checkpoint(
+                        ckpt_dir,
+                        superstep=self.superstep,
+                        snapshot=executor.snapshot(),
+                        aggregates=dict(self._aggregates),
+                        metrics=metrics,
+                        config_hash=config_hash,
+                        num_workers=self.cluster.num_workers,
+                        worker_of=self.cluster.worker_of,
+                    )
+                    recovery.checkpoints_written += 1
+                    recovery.checkpoint_bytes += info.bytes_written
+                    recovery.checkpoint_seconds += info.seconds
                 self.superstep += 1
 
-            metrics.makespan = time.perf_counter() - t_run
+            metrics.makespan += time.perf_counter() - t_run
             final_states = executor.collect_states()
-        finally:
             executor.close()
+        except BaseException:
+            executor.abort()
+            raise
         return IcmResult(
             states=final_states, metrics=metrics, aggregates=dict(self._aggregates)
         )

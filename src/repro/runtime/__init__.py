@@ -15,7 +15,22 @@ from .encoding import (
     payload_size,
     varint_size,
 )
-from .metrics import ComputeModel, NetworkModel, RunMetrics, SuperstepMetrics
+from .checkpoint import (
+    CheckpointError,
+    ExecutorSnapshot,
+    LoadedCheckpoint,
+    latest_checkpoint,
+    load_checkpoint,
+    write_checkpoint,
+)
+from .faults import FaultAction, FaultPlan, UnrecoverableRunError, WorkerDiedError
+from .metrics import (
+    ComputeModel,
+    NetworkModel,
+    RecoveryMetrics,
+    RunMetrics,
+    SuperstepMetrics,
+)
 from .partitioner import GreedyEdgeCutPartitioner, HashPartitioner, RangePartitioner
 
 __all__ = [
@@ -23,7 +38,18 @@ __all__ = [
     "NetworkModel",
     "ComputeModel",
     "RunMetrics",
+    "RecoveryMetrics",
     "SuperstepMetrics",
+    "CheckpointError",
+    "ExecutorSnapshot",
+    "LoadedCheckpoint",
+    "write_checkpoint",
+    "load_checkpoint",
+    "latest_checkpoint",
+    "FaultPlan",
+    "FaultAction",
+    "WorkerDiedError",
+    "UnrecoverableRunError",
     "HashPartitioner",
     "RangePartitioner",
     "GreedyEdgeCutPartitioner",

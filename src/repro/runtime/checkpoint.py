@@ -1,0 +1,587 @@
+"""Barrier-synchronized checkpointing: durable superstep state on disk.
+
+Giraph checkpoints vertex state and in-flight messages at BSP barriers and
+restarts failed workers from the last checkpoint.  This module is that
+layer for the reproduction: at a configurable superstep cadence the engine
+snapshots everything a barrier owns —
+
+* each shard's :class:`~repro.core.state.PartitionedState` partitions,
+* the messages pending delivery at the next superstep (with their sender
+  sequence numbers, so the resumed run restores the exact serial delivery
+  order),
+* the reduced aggregator values the next superstep will read,
+* the run's deterministic counters and modeled cost sums
+  (:class:`~repro.runtime.metrics.RunMetrics`),
+
+and writes one **varint-encoded file per shard** using the existing wire
+codec (`repro.runtime.encoding` — the checkpoint format *is* the message
+format, there is no second serializer), plus a JSON **manifest** carrying
+the superstep, a config fingerprint, and per-file SHA-256 checksums.
+``IntervalCentricEngine.run(resume_from=...)`` reloads the manifest,
+validates the fingerprint, and continues from superstep N+1 producing
+results bit-identical to an uninterrupted run; the same loader backs the
+parallel executor's crash recovery (`repro.runtime.faults`).
+
+Layout on disk::
+
+    <root>/
+      step-000004/
+        manifest.json          # superstep, config hash, checksums
+        aggregates.bin         # payload-codec (name, value) pairs
+        shard-00000.bin        # states + pending messages of shard 0
+        shard-00002.bin        # empty shards are omitted
+      step-000008/
+        ...
+
+Checkpoints are written atomically (staging directory + rename), so a
+crash *during* checkpointing can never leave a half-readable step behind.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import re
+import shutil
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from repro.core.interval import Interval
+from repro.core.messages import IntervalMessage
+from repro.core.state import PartitionedState
+
+from .encoding import (
+    _encode_interval_into,
+    _encode_payload_into,
+    _encode_varint_into,
+    decode_interval,
+    decode_payload,
+    decode_routed_batch,
+    decode_varint,
+    encode_routed_batch,
+    encode_varint,
+)
+from .metrics import RunMetrics, SuperstepMetrics
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CheckpointError",
+    "CheckpointInfo",
+    "ExecutorSnapshot",
+    "LoadedCheckpoint",
+    "config_fingerprint",
+    "decode_shard",
+    "encode_shard",
+    "latest_checkpoint",
+    "load_checkpoint",
+    "metrics_snapshot",
+    "restore_metrics",
+    "write_checkpoint",
+]
+
+#: Bump on any incompatible change to the shard or manifest layout.
+CHECKPOINT_FORMAT = 1
+
+_SHARD_MAGIC = b"ICMC"
+_STEP_DIR = re.compile(r"^step-(\d{6})$")
+
+_METRIC_COUNTERS = (
+    "compute_calls",
+    "scatter_calls",
+    "messages_sent",
+    "message_bytes",
+    "local_messages",
+    "remote_messages",
+    "system_messages",
+    "supersteps",
+    "warp_calls",
+    "warp_suppressed_vertices",
+    "combiner_reductions",
+    "shared_messages",
+    "peak_inflight_messages",
+    "exchange_bytes",
+)
+_METRIC_FLOATS = (
+    "compute_plus_time",
+    "modeled_compute_time",
+    "worker_wall_time",
+    "exchange_time",
+    "messaging_time",
+    "barrier_time",
+    "load_time",
+    "makespan",
+    "modeled_makespan",
+)
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be written, found, read, or trusted.
+
+    Raised for missing/corrupt files, checksum or format-version
+    mismatches, unserializable state values, and config-fingerprint
+    mismatches on resume.  Distinct from
+    :class:`~repro.runtime.faults.UnrecoverableRunError`, which is about
+    *processes* dying faster than recovery can absorb.
+    """
+
+
+@dataclass
+class ExecutorSnapshot:
+    """Everything an executor owns at a barrier, in executor-neutral form.
+
+    ``pending`` entries are ``(sender_seq, dst_vid, message)`` in delivery
+    order — the same triples the parallel wire format routes — so a
+    snapshot taken under one executor can be resumed under the other.
+    ``carried_reductions`` are worker-local combiner folds already applied
+    to the pending messages but not yet credited to the metrics (the
+    receiving superstep credits them; it has not run yet).
+    """
+
+    states: dict[Any, PartitionedState]
+    pending: list[tuple[int, Any, IntervalMessage]]
+    carried_reductions: int = 0
+
+
+@dataclass
+class CheckpointInfo:
+    """What one :func:`write_checkpoint` call produced."""
+
+    path: Path
+    superstep: int
+    bytes_written: int
+    seconds: float = 0.0
+
+
+@dataclass
+class LoadedCheckpoint:
+    """A checkpoint read back from disk, checksums verified."""
+
+    path: Path
+    superstep: int
+    config_hash: str
+    algorithm: str
+    graph: str
+    num_workers: int
+    states: dict[Any, PartitionedState]
+    pending: list[tuple[int, Any, IntervalMessage]]
+    carried_reductions: int
+    aggregates: dict[str, Any]
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+
+# -- shard codec ---------------------------------------------------------------
+
+
+def encode_shard(
+    states: list[tuple[Any, PartitionedState]],
+    pending: list[tuple[int, Any, IntervalMessage]],
+) -> bytes:
+    """Encode one shard's states and pending messages with the wire codec.
+
+    Layout: magic, format varint, vertex count, then per vertex the id
+    (tagged payload), lifespan (interval header), partition count, the
+    interior+final end boundaries as varints, and the partition values as
+    tagged payloads; the pending messages follow as one routed batch
+    (:func:`repro.runtime.encoding.encode_routed_batch` — the same bytes
+    that cross worker pipes at a live barrier).
+    """
+    out = bytearray(_SHARD_MAGIC)
+    out += encode_varint(CHECKPOINT_FORMAT)
+    out += encode_varint(len(states))
+    for vid, state in states:
+        lifespan, ends, values = state.parts()
+        try:
+            _encode_payload_into(vid, out)
+        except TypeError as exc:
+            raise CheckpointError(
+                f"vertex id {vid!r} is not checkpoint-serializable: {exc}"
+            ) from exc
+        _encode_interval_into(lifespan, out)
+        _encode_varint_into(len(ends), out)
+        for end in ends:
+            _encode_varint_into(end, out)
+        for value in values:
+            try:
+                _encode_payload_into(value, out)
+            except TypeError as exc:
+                raise CheckpointError(
+                    f"state value {value!r} of vertex {vid!r} is not "
+                    f"checkpoint-serializable: {exc}"
+                ) from exc
+    try:
+        out += encode_routed_batch(pending)
+    except TypeError as exc:
+        raise CheckpointError(
+            f"pending message is not checkpoint-serializable: {exc}"
+        ) from exc
+    return bytes(out)
+
+
+def decode_shard(
+    buf: bytes, *, coalesce: bool = True
+) -> tuple[dict[Any, PartitionedState], list[tuple[int, Any, IntervalMessage]]]:
+    """Inverse of :func:`encode_shard`; rejects bad magic and trailing bytes."""
+    if buf[: len(_SHARD_MAGIC)] != _SHARD_MAGIC:
+        raise CheckpointError("bad shard file magic (not a checkpoint shard)")
+    offset = len(_SHARD_MAGIC)
+    fmt, offset = decode_varint(buf, offset)
+    if fmt != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"shard format {fmt} unsupported (this build reads format "
+            f"{CHECKPOINT_FORMAT})"
+        )
+    count, offset = decode_varint(buf, offset)
+    states: dict[Any, PartitionedState] = {}
+    for _ in range(count):
+        vid, offset = decode_payload(buf, offset)
+        lifespan, offset = decode_interval(buf, offset)
+        n_parts, offset = decode_varint(buf, offset)
+        ends = []
+        for _ in range(n_parts):
+            end, offset = decode_varint(buf, offset)
+            ends.append(end)
+        values = []
+        for _ in range(n_parts):
+            value, offset = decode_payload(buf, offset)
+            values.append(value)
+        try:
+            states[vid] = PartitionedState.from_parts(
+                lifespan, ends, values, coalesce=coalesce
+            )
+        except (ValueError, AssertionError) as exc:
+            raise CheckpointError(
+                f"corrupt state snapshot for vertex {vid!r}: {exc}"
+            ) from exc
+    pending = decode_routed_batch(buf[offset:])
+    return states, pending
+
+
+def _encode_aggregates(aggregates: dict[str, Any]) -> bytes:
+    out = bytearray(encode_varint(len(aggregates)))
+    for name, value in aggregates.items():
+        _encode_payload_into(name, out)
+        try:
+            _encode_payload_into(value, out)
+        except TypeError as exc:
+            raise CheckpointError(
+                f"aggregate {name!r}={value!r} is not checkpoint-serializable: {exc}"
+            ) from exc
+    return bytes(out)
+
+
+def _decode_aggregates(buf: bytes) -> dict[str, Any]:
+    count, offset = decode_varint(buf, 0)
+    out: dict[str, Any] = {}
+    for _ in range(count):
+        name, offset = decode_payload(buf, offset)
+        value, offset = decode_payload(buf, offset)
+        out[name] = value
+    if offset != len(buf):
+        raise CheckpointError("trailing bytes after aggregates")
+    return out
+
+
+# -- metrics snapshot ----------------------------------------------------------
+
+
+def metrics_snapshot(metrics: RunMetrics) -> dict[str, Any]:
+    """The deterministic portion of a :class:`RunMetrics` as JSON-safe data.
+
+    Counters and modeled float sums round-trip exactly through JSON
+    (Python serialises floats via ``repr``, which is lossless), which is
+    what lets a resumed run finish with *bitwise* identical counters and
+    modeled makespan.  Measured wall-times ride along for continuity but
+    carry no exactness promise.  ``recovery`` is deliberately excluded:
+    the resumed run accounts its own durability costs.
+    """
+    snap: dict[str, Any] = {
+        "platform": metrics.platform,
+        "algorithm": metrics.algorithm,
+        "graph": metrics.graph,
+        "executor": metrics.executor,
+    }
+    for name in _METRIC_COUNTERS:
+        snap[name] = getattr(metrics, name)
+    for name in _METRIC_FLOATS:
+        snap[name] = getattr(metrics, name)
+    snap["supersteps_detail"] = [
+        dataclasses.asdict(step) for step in metrics.supersteps_detail
+    ]
+    return snap
+
+
+def restore_metrics(snap: dict[str, Any], *, executor: str) -> RunMetrics:
+    """Rebuild a :class:`RunMetrics` to continue accumulating from."""
+    metrics = RunMetrics(
+        platform=snap.get("platform", ""),
+        algorithm=snap.get("algorithm", ""),
+        graph=snap.get("graph", ""),
+        executor=executor,
+    )
+    for name in (*_METRIC_COUNTERS, *_METRIC_FLOATS):
+        if name in snap:
+            setattr(metrics, name, snap[name])
+    for step in snap.get("supersteps_detail", []):
+        metrics.supersteps_detail.append(SuperstepMetrics(**step))
+    return metrics
+
+
+# -- config fingerprint --------------------------------------------------------
+
+
+def config_fingerprint(engine) -> str:
+    """Hash of everything a resumed run must agree on with the writer.
+
+    Covers the program identity, the graph structure (ids, lifespans, edge
+    topology), the simulated cluster shape and cost models, and every
+    engine flag that steers the deterministic execution.  The *executor*
+    and its process count are deliberately excluded — checkpoints are
+    executor-portable (a serial checkpoint resumes under the parallel
+    executor and vice versa).
+    """
+    graph = engine.graph
+    digest = hashlib.sha256()
+    for v in graph.vertices():
+        digest.update(repr((v.vid, v.lifespan.start, v.lifespan.end)).encode())
+        for e in graph.out_edges(v.vid):
+            digest.update(
+                repr((e.dst, e.lifespan.start, e.lifespan.end)).encode()
+            )
+    cluster = engine.cluster
+    payload = {
+        "format": CHECKPOINT_FORMAT,
+        "program": engine.program.name,
+        "fixed_supersteps": engine.program.fixed_supersteps,
+        "graph_digest": digest.hexdigest(),
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "num_workers": cluster.num_workers,
+        "partitioner": repr(cluster.partitioner),
+        "varint_encoding": cluster.varint_encoding,
+        "model_network": cluster.model_network,
+        "network": dataclasses.asdict(cluster.network),
+        "compute_model": dataclasses.asdict(cluster.compute_model),
+        "enable_warp_combiner": engine.enable_warp_combiner,
+        "enable_receiver_combiner": engine.enable_receiver_combiner,
+        "enable_dominated_elimination": engine.enable_dominated_elimination,
+        "enable_warp_suppression": engine.enable_warp_suppression,
+        "warp_suppression_threshold": engine.warp_suppression_threshold,
+        "suppression_expansion_cap": engine.suppression_expansion_cap,
+        "coalesce_states": engine.coalesce_states,
+        "prepartition": engine.prepartition_by_vertex_properties,
+    }
+    blob = json.dumps(payload, sort_keys=True, default=repr).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+# -- write / load --------------------------------------------------------------
+
+
+def _step_dir_name(superstep: int) -> str:
+    return f"step-{superstep:06d}"
+
+
+def write_checkpoint(
+    root: os.PathLike | str,
+    *,
+    superstep: int,
+    snapshot: ExecutorSnapshot,
+    aggregates: dict[str, Any],
+    metrics: RunMetrics,
+    config_hash: str,
+    num_workers: int,
+    worker_of: Callable[[Any], int],
+) -> CheckpointInfo:
+    """Write one barrier's state under ``root`` atomically.
+
+    States and pending messages are split per shard by ``worker_of`` (the
+    cluster's vertex partitioning), one file per non-empty shard, then the
+    staging directory is renamed into place so readers only ever see
+    complete checkpoints.
+    """
+    t0 = time.perf_counter()
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    step_name = _step_dir_name(superstep)
+    staging = root / f".staging-{step_name}"
+    final = root / step_name
+    if staging.exists():
+        shutil.rmtree(staging)
+    staging.mkdir()
+
+    per_shard_states: dict[int, list[tuple[Any, PartitionedState]]] = {}
+    for vid, state in snapshot.states.items():
+        per_shard_states.setdefault(worker_of(vid), []).append((vid, state))
+    per_shard_pending: dict[int, list[tuple[int, Any, IntervalMessage]]] = {}
+    for entry in snapshot.pending:
+        per_shard_pending.setdefault(worker_of(entry[1]), []).append(entry)
+
+    total_bytes = 0
+    shards_meta: dict[str, Any] = {}
+    for shard in sorted(set(per_shard_states) | set(per_shard_pending)):
+        states = per_shard_states.get(shard, [])
+        pending = per_shard_pending.get(shard, [])
+        blob = encode_shard(states, pending)
+        fname = f"shard-{shard:05d}.bin"
+        (staging / fname).write_bytes(blob)
+        total_bytes += len(blob)
+        shards_meta[str(shard)] = {
+            "file": fname,
+            "sha256": hashlib.sha256(blob).hexdigest(),
+            "bytes": len(blob),
+            "vertices": len(states),
+            "pending": len(pending),
+        }
+
+    agg_blob = _encode_aggregates(aggregates)
+    (staging / "aggregates.bin").write_bytes(agg_blob)
+    total_bytes += len(agg_blob)
+
+    manifest = {
+        "format": CHECKPOINT_FORMAT,
+        "superstep": superstep,
+        "config_hash": config_hash,
+        "algorithm": metrics.algorithm,
+        "graph": metrics.graph,
+        "num_workers": num_workers,
+        "carried_reductions": snapshot.carried_reductions,
+        "shards": shards_meta,
+        "aggregates": {
+            "file": "aggregates.bin",
+            "sha256": hashlib.sha256(agg_blob).hexdigest(),
+            "bytes": len(agg_blob),
+        },
+        "metrics": metrics_snapshot(metrics),
+        "created_at": time.time(),
+    }
+    manifest_blob = json.dumps(manifest, indent=1, sort_keys=True).encode()
+    (staging / "manifest.json").write_bytes(manifest_blob)
+    total_bytes += len(manifest_blob)
+
+    if final.exists():  # a recovery replay re-checkpointing the same step
+        shutil.rmtree(final)
+    os.replace(staging, final)
+    return CheckpointInfo(
+        path=final,
+        superstep=superstep,
+        bytes_written=total_bytes,
+        seconds=time.perf_counter() - t0,
+    )
+
+
+def latest_checkpoint(root: os.PathLike | str) -> Optional[Path]:
+    """The newest complete ``step-*`` directory under ``root``, if any."""
+    root = Path(root)
+    if not root.is_dir():
+        return None
+    best: Optional[tuple[int, Path]] = None
+    for child in root.iterdir():
+        match = _STEP_DIR.match(child.name)
+        if match and (child / "manifest.json").is_file():
+            step = int(match.group(1))
+            if best is None or step > best[0]:
+                best = (step, child)
+    return best[1] if best else None
+
+
+def clear_checkpoints(root: os.PathLike | str) -> int:
+    """Remove stale ``step-*`` checkpoints (and staging leftovers) under
+    ``root``; returns how many were removed.  Only directories matching the
+    checkpoint naming are touched."""
+    root = Path(root)
+    if not root.is_dir():
+        return 0
+    removed = 0
+    for child in root.iterdir():
+        if _STEP_DIR.match(child.name) or child.name.startswith(".staging-step-"):
+            shutil.rmtree(child)
+            removed += 1
+    return removed
+
+
+def _verified_blob(path: Path, meta: dict[str, Any], what: str) -> bytes:
+    try:
+        blob = path.read_bytes()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read {what} file {path}: {exc}") from exc
+    digest = hashlib.sha256(blob).hexdigest()
+    if digest != meta.get("sha256"):
+        raise CheckpointError(
+            f"{what} file {path.name} failed its checksum "
+            f"(manifest {meta.get('sha256')!r}, actual {digest!r})"
+        )
+    return blob
+
+
+def load_checkpoint(
+    path: os.PathLike | str, *, coalesce: bool = True
+) -> LoadedCheckpoint:
+    """Read a checkpoint back, verifying format version and checksums.
+
+    ``path`` may be a ``step-*`` directory or a checkpoint root (in which
+    case the latest step is loaded).  Pending messages are re-merged
+    across shards in shard order, stable-sorted by sender sequence — the
+    exact delivery order a live barrier would have produced.
+    """
+    path = Path(path)
+    if not (path / "manifest.json").is_file():
+        latest = latest_checkpoint(path)
+        if latest is None:
+            raise CheckpointError(
+                f"no checkpoint found at {path} (expected a step-* directory "
+                "or a checkpoint root containing one)"
+            )
+        path = latest
+    try:
+        manifest = json.loads((path / "manifest.json").read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"unreadable manifest in {path}: {exc}") from exc
+    fmt = manifest.get("format")
+    if fmt != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"checkpoint format {fmt!r} unsupported (this build reads format "
+            f"{CHECKPOINT_FORMAT})"
+        )
+
+    states: dict[Any, PartitionedState] = {}
+    pending: list[tuple[int, Any, IntervalMessage]] = []
+    shards = manifest.get("shards", {})
+    for shard_key in sorted(shards, key=int):
+        meta = shards[shard_key]
+        blob = _verified_blob(path / meta["file"], meta, f"shard {shard_key}")
+        try:
+            shard_states, shard_pending = decode_shard(blob, coalesce=coalesce)
+        except (ValueError, IndexError) as exc:
+            raise CheckpointError(
+                f"corrupt shard file {meta['file']}: {exc}"
+            ) from exc
+        states.update(shard_states)
+        pending.extend(shard_pending)
+    pending.sort(key=lambda e: e[0])  # stable: per-shard order preserved
+
+    agg_meta = manifest.get("aggregates", {})
+    aggregates: dict[str, Any] = {}
+    if agg_meta:
+        blob = _verified_blob(path / agg_meta["file"], agg_meta, "aggregates")
+        try:
+            aggregates = _decode_aggregates(blob)
+        except (ValueError, IndexError) as exc:
+            raise CheckpointError(f"corrupt aggregates file: {exc}") from exc
+
+    return LoadedCheckpoint(
+        path=path,
+        superstep=manifest["superstep"],
+        config_hash=manifest.get("config_hash", ""),
+        algorithm=manifest.get("algorithm", ""),
+        graph=manifest.get("graph", ""),
+        num_workers=manifest.get("num_workers", 0),
+        states=states,
+        pending=pending,
+        carried_reductions=manifest.get("carried_reductions", 0),
+        aggregates=aggregates,
+        metrics=manifest.get("metrics", {}),
+    )

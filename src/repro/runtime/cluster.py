@@ -220,6 +220,33 @@ class SimulatedCluster:
     def pending_count(self) -> int:
         return sum(len(v) for v in self._pending.values())
 
+    # -- checkpoint support ----------------------------------------------------
+
+    def pending_entries(self) -> list[tuple[int, Any, IntervalMessage]]:
+        """The undelivered messages as ``(seq, dst, message)`` triples.
+
+        The serial transport does not track sender sequences (delivery
+        order *is* queue order), so a monotonically increasing counter
+        stands in: it preserves each destination's queue order, which is
+        the only order a resume — under either executor — depends on.
+        """
+        entries: list[tuple[int, Any, IntervalMessage]] = []
+        i = 0
+        for dst, msgs in self._pending.items():
+            for msg in msgs:
+                entries.append((i, dst, msg))
+                i += 1
+        return entries
+
+    def seed_pending(self, entries) -> None:
+        """Rebuild the pending queues from checkpoint ``(seq, dst, message)``
+        triples (sorted by seq by the loader — serial delivery order)."""
+        if self._step is not None:
+            raise ClusterLifecycleError("seed_pending inside an open superstep")
+        self._pending = {}
+        for _seq, dst, msg in entries:
+            self._pending.setdefault(dst, []).append(msg)
+
     def reset(self) -> None:
         """Clear all queues (between independent runs on one cluster)."""
         self._inboxes = {}

@@ -43,19 +43,21 @@ _TAG_TUPLE = 7
 _TAG_BIG_INT = 8  # ints at/above FOREVER (e.g. "infinite cost" sentinels)
 
 
-def encode_varint(n: int) -> bytes:
-    """Unsigned LEB128."""
+def _encode_varint_into(n: int, out: bytearray) -> None:
+    """Append the unsigned LEB128 form of ``n`` without allocating."""
     if n < 0:
         raise ValueError("varint encodes non-negative integers only")
-    out = bytearray()
-    while True:
-        byte = n & 0x7F
+    while n >= 0x80:
+        out.append((n & 0x7F) | 0x80)
         n >>= 7
-        if n:
-            out.append(byte | 0x80)
-        else:
-            out.append(byte)
-            return bytes(out)
+    out.append(n)
+
+
+def encode_varint(n: int) -> bytes:
+    """Unsigned LEB128."""
+    out = bytearray()
+    _encode_varint_into(n, out)
+    return bytes(out)
 
 
 def decode_varint(buf: bytes, offset: int = 0) -> tuple[int, int]:
@@ -85,17 +87,23 @@ def varint_size(n: int) -> int:
 # -- interval ---------------------------------------------------------------
 
 
-def encode_interval(interval: Interval) -> bytes:
-    """Header byte + varint start [+ varint end when needed]."""
+def _encode_interval_into(interval: Interval, out: bytearray) -> None:
+    """Append the wire form of ``interval`` without allocating."""
     flags = 0
     if interval.is_unit:
         flags |= _FLAG_UNIT
     if interval.is_unbounded:
         flags |= _FLAG_UNBOUNDED
-    out = bytearray([flags])
-    out += encode_varint(interval.start)
+    out.append(flags)
+    _encode_varint_into(interval.start, out)
     if not flags:
-        out += encode_varint(interval.end)
+        _encode_varint_into(interval.end, out)
+
+
+def encode_interval(interval: Interval) -> bytes:
+    """Header byte + varint start [+ varint end when needed]."""
+    out = bytearray()
+    _encode_interval_into(interval, out)
     return bytes(out)
 
 
@@ -145,24 +153,24 @@ def _encode_payload_into(value: Any, out: bytearray) -> None:
             # Cost sums like FOREVER + weight must round-trip exactly, so
             # the excess over the sentinel rides along as a (small) varint.
             out.append(_TAG_BIG_INT)
-            out += encode_varint(value - FOREVER)
+            _encode_varint_into(value - FOREVER, out)
         elif value >= 0:
             out.append(_TAG_INT)
-            out += encode_varint(value)
+            _encode_varint_into(value, out)
         else:
             out.append(_TAG_NEG_INT)
-            out += encode_varint(-value)
+            _encode_varint_into(-value, out)
     elif isinstance(value, float):
         out.append(_TAG_FLOAT)
         out += struct.pack("<d", value)
     elif isinstance(value, str):
         raw = value.encode("utf-8")
         out.append(_TAG_STR)
-        out += encode_varint(len(raw))
+        _encode_varint_into(len(raw), out)
         out += raw
     elif isinstance(value, (tuple, list)):
         out.append(_TAG_TUPLE)
-        out += encode_varint(len(value))
+        _encode_varint_into(len(value), out)
         for item in value:
             _encode_payload_into(item, out)
     else:
@@ -277,12 +285,15 @@ def encoded_batch_size(messages, *, varint: bool = True) -> int:
 def encode_routed_batch(entries) -> bytes:
     """Encode ``(seq, dst_vid, IntervalMessage)`` entries into one buffer."""
     out = bytearray()
-    out += encode_varint(len(entries))
+    _encode_varint_into(len(entries), out)
+    varint_into, payload_into, interval_into = (
+        _encode_varint_into, _encode_payload_into, _encode_interval_into,
+    )
     for seq, dst, msg in entries:
-        out += encode_varint(seq)
-        _encode_payload_into(dst, out)
-        out += encode_interval(msg.interval)
-        _encode_payload_into(msg.value, out)
+        varint_into(seq, out)
+        payload_into(dst, out)
+        interval_into(msg.interval, out)
+        payload_into(msg.value, out)
     return bytes(out)
 
 

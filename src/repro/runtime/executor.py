@@ -44,7 +44,9 @@ from repro.core.engine import VertexProcessor
 from repro.core.interval import Interval
 from repro.core.messages import IntervalMessage
 
+from .checkpoint import ExecutorSnapshot
 from .encoding import decode_routed_batch, encode_routed_batch, encoded_batch_size
+from .faults import FaultPlan, WorkerDiedError, kill_process
 from .metrics import RunMetrics
 
 _COUNT_FIELDS = (
@@ -56,16 +58,32 @@ _COUNT_FIELDS = (
 )
 
 
+def _env_fault_plan() -> Optional[FaultPlan]:
+    """Parse ``REPRO_FAULT_PLAN`` (chaos CI knob) with a clear failure mode."""
+    env = os.environ.get("REPRO_FAULT_PLAN")
+    if not env:
+        return None
+    try:
+        return FaultPlan.parse(env)
+    except ValueError as exc:
+        raise ValueError(f"invalid REPRO_FAULT_PLAN: {exc}") from None
+
+
 def resolve_executor(spec: Any = None, processes: Optional[int] = None, *, tracer=None):
     """Turn an executor spec into an executor instance.
 
     ``spec`` may be ``"serial"``, ``"parallel"``, an executor instance, or
     ``None`` (read the ``REPRO_EXECUTOR`` environment variable, default
-    serial).  ``processes=None`` reads ``REPRO_EXECUTOR_PROCESSES``.
+    serial).  ``processes=None`` reads ``REPRO_EXECUTOR_PROCESSES``.  A
+    ``REPRO_FAULT_PLAN`` in the environment arms the parallel executor with
+    a :class:`~repro.runtime.faults.FaultPlan` (chaos testing).  All three
+    variables are validated eagerly — a typo fails loudly, naming the
+    variable, instead of silently running the wrong configuration.
     """
     if spec is not None and not isinstance(spec, str):
         executor = spec
     else:
+        from_env = spec is None
         name = spec or os.environ.get("REPRO_EXECUTOR", "serial")
         if tracer is not None and spec is None:
             # Tracing is in-process only.  An *environment*-forced parallel
@@ -73,17 +91,33 @@ def resolve_executor(spec: Any = None, processes: Optional[int] = None, *, trace
             # under REPRO_EXECUTOR=parallel test sweeps; explicitly asking
             # for parallel with a tracer still errors below.
             name = "serial"
+        if name not in ("serial", "parallel"):
+            source = (
+                f"REPRO_EXECUTOR={name!r}" if from_env else f"executor {name!r}"
+            )
+            raise ValueError(
+                f"unknown executor in {source} (expected 'serial' or 'parallel')"
+            )
         if processes is None:
             env = os.environ.get("REPRO_EXECUTOR_PROCESSES")
             if env:
-                processes = int(env)
+                try:
+                    processes = int(env)
+                except ValueError:
+                    raise ValueError(
+                        f"invalid REPRO_EXECUTOR_PROCESSES={env!r} "
+                        "(expected a positive integer)"
+                    ) from None
+                if processes < 1:
+                    raise ValueError(
+                        f"invalid REPRO_EXECUTOR_PROCESSES={env!r} "
+                        "(expected a positive integer)"
+                    )
         if name == "serial":
             executor = SerialExecutor()
-        elif name == "parallel":
-            executor = ParallelExecutor(processes=processes)
         else:
-            raise ValueError(
-                f"unknown executor {name!r} (expected 'serial' or 'parallel')"
+            executor = ParallelExecutor(
+                processes=processes, fault_plan=_env_fault_plan()
             )
     if tracer is not None and executor.name != "serial":
         raise ValueError(
@@ -174,7 +208,22 @@ class SerialExecutor:
     def collect_states(self) -> dict[Any, Any]:
         return {vid: ctx._state for vid, ctx in self._contexts.items()}
 
+    def snapshot(self) -> ExecutorSnapshot:
+        """Barrier-time snapshot: all states plus the undelivered messages."""
+        return ExecutorSnapshot(
+            states=self.collect_states(),
+            pending=self._engine.cluster.pending_entries(),
+            carried_reductions=0,
+        )
+
+    def restore_pending(self, entries) -> None:
+        """Seed the cluster inbox from a checkpoint's pending entries."""
+        self._engine.cluster.seed_pending(entries)
+
     def close(self) -> None:
+        pass
+
+    def abort(self) -> None:
         pass
 
 
@@ -426,6 +475,15 @@ class _WorkerRuntime:
     def collect(self) -> dict[Any, Any]:
         return {vid: ctx._state for vid, ctx in self.contexts.items()}
 
+    def snapshot(self) -> dict[str, Any]:
+        """Read-only barrier snapshot: this process's states and the
+        worker-local messages awaiting the next superstep (cross-process
+        batches still sit at the master and are snapshotted there)."""
+        return {
+            "states": self.collect(),
+            "pending": encode_routed_batch(self._pending),
+        }
+
 
 def _worker_main(payload: _ShardPayload, conn) -> None:
     try:
@@ -446,6 +504,8 @@ def _worker_main(payload: _ShardPayload, conn) -> None:
                 result = runtime.step(cmd[1], cmd[2], cmd[3])
             elif op == "collect":
                 result = runtime.collect()
+            elif op == "snapshot":
+                result = runtime.snapshot()
             else:
                 raise RuntimeError(f"unknown worker command {op!r}")
         except BaseException as exc:
@@ -472,11 +532,20 @@ class ParallelExecutor:
 
     name = "parallel"
 
-    def __init__(self, processes: Optional[int] = None):
+    def __init__(
+        self,
+        processes: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ):
         self.processes = processes
+        #: Deterministic kill schedule (`repro.runtime.faults`); ``None``
+        #: runs fault-free.  Injected kills are real SIGKILLs delivered at
+        #: the top of the scheduled superstep.
+        self.fault_plan = fault_plan
         self._procs: list = []
         self._conns: list = []
         self._pending_total = 0
+        self._last_superstep = 0
 
     def start(self, engine, states, fresh, rescatter, warm: bool) -> None:
         cluster = engine.cluster
@@ -487,6 +556,9 @@ class ParallelExecutor:
         self._engine = engine
         shard_to_proc = [s % procs for s in range(n_shards)]
         partitioner = cluster.partitioner
+        self._shard_to_proc = shard_to_proc
+        self._partitioner = partitioner
+        self._last_superstep = 0
 
         per_states: list[dict] = [{} for _ in range(procs)]
         per_fresh: list[set] = [set() for _ in range(procs)]
@@ -535,13 +607,33 @@ class ParallelExecutor:
     def has_pending(self) -> bool:
         return self._pending_total > 0
 
+    def _worker_died(self, i: int, detail: str = "") -> WorkerDiedError:
+        proc = self._procs[i]
+        proc.join(timeout=10)
+        return WorkerDiedError(
+            worker=i,
+            superstep=self._last_superstep,
+            exitcode=proc.exitcode,
+            detail=detail,
+        )
+
+    def _send_cmd(self, i: int, cmd: tuple) -> None:
+        try:
+            self._conns[i].send(cmd)
+        except (BrokenPipeError, OSError) as exc:
+            raise self._worker_died(i, detail=str(exc)) from None
+
     def _recv_all(self) -> list:
         replies = []
         for i, conn in enumerate(self._conns):
             try:
                 reply = conn.recv()
             except EOFError:
-                raise RuntimeError(f"parallel worker {i} died unexpectedly") from None
+                # The pipe closed without a reply: the worker *process* is
+                # gone (crash / SIGKILL / oom).  Recoverable via checkpoint
+                # rollback — unlike the user-program errors below, which
+                # would fail identically on every replay.
+                raise self._worker_died(i) from None
             if reply[0] == "error":
                 _, tb, exc = reply
                 if exc is not None:
@@ -553,12 +645,21 @@ class ParallelExecutor:
     def run_superstep(self, superstep: int, metrics: RunMetrics) -> int:
         engine = self._engine
         cluster = engine.cluster
+        self._last_superstep = superstep
+        if self.fault_plan is not None:
+            for victim in self.fault_plan.victims(superstep, self._nprocs):
+                # A real, uncatchable death — the master must discover it
+                # through the broken pipe exactly as it would a crash.
+                proc = self._procs[victim]
+                if proc.pid is not None and proc.is_alive():
+                    kill_process(proc.pid)
+                    proc.join(timeout=10)
         cluster.begin_superstep(superstep)
 
         aggregates = engine._aggregates
         t0 = time.perf_counter()
-        for i, conn in enumerate(self._conns):
-            conn.send(("step", superstep, aggregates, self._inbound[i]))
+        for i in range(len(self._conns)):
+            self._send_cmd(i, ("step", superstep, aggregates, self._inbound[i]))
         self._inbound = [[] for _ in range(self._nprocs)]
         reports = self._recv_all()
         compute_wall = time.perf_counter() - t0
@@ -622,25 +723,110 @@ class ParallelExecutor:
         return total_active
 
     def collect_states(self) -> dict[Any, Any]:
-        for conn in self._conns:
-            conn.send(("collect",))
+        for i in range(len(self._conns)):
+            self._send_cmd(i, ("collect",))
         merged: dict[Any, Any] = {}
         for states in self._recv_all():
             merged.update(states)
         seq = self._engine._seq
         return {vid: merged[vid] for vid in sorted(merged, key=seq.__getitem__)}
 
+    def snapshot(self) -> ExecutorSnapshot:
+        """Barrier-time snapshot across all worker processes.
+
+        Each worker reports its states and worker-local pending messages;
+        the master adds the cross-process batches still parked in
+        ``_inbound`` (decoded non-destructively — the live bytes stay put
+        for the next superstep).  Entries are merged with one stable sort
+        by sender sequence, recreating the serial delivery order, so the
+        snapshot is executor-neutral.
+        """
+        for i in range(len(self._conns)):
+            self._send_cmd(i, ("snapshot",))
+        states: dict[Any, Any] = {}
+        pending: list[tuple[int, Any, IntervalMessage]] = []
+        for rep in self._recv_all():
+            states.update(rep["states"])
+            pending.extend(decode_routed_batch(rep["pending"]))
+        carried = 0
+        for batches in self._inbound:
+            for buf, reductions in batches:
+                pending.extend(decode_routed_batch(buf))
+                carried += reductions
+        pending.sort(key=lambda e: e[0])  # stable: per-sender order kept
+        seq = self._engine._seq
+        states = {vid: states[vid] for vid in sorted(states, key=seq.__getitem__)}
+        return ExecutorSnapshot(
+            states=states, pending=pending, carried_reductions=carried
+        )
+
+    def restore_pending(self, entries) -> None:
+        """Feed a checkpoint's pending messages back as inbound batches.
+
+        One re-encoded batch per destination process, carrying zero
+        reductions: the checkpoint's ``carried_reductions`` are credited
+        once by the engine, so the batches must not credit them again.
+        """
+        per_proc: dict[int, list] = {}
+        for entry in entries:
+            shard = self._partitioner.worker_of(entry[1])
+            per_proc.setdefault(self._shard_to_proc[shard], []).append(entry)
+        for p, ents in per_proc.items():
+            self._inbound[p].append((encode_routed_batch(ents), 0))
+        self._pending_total = len(entries)
+
     def close(self) -> None:
-        for conn in self._conns:
+        """Shut workers down, **propagating** any death instead of hiding it.
+
+        Every process is still joined and every pipe closed before the
+        error surfaces — cleanup is unconditional — but a worker that
+        exited nonzero (or never acknowledged the stop) raises
+        :class:`WorkerDiedError` naming the worker and its last superstep,
+        instead of the old silent terminate-and-move-on.
+        """
+        failure: Optional[WorkerDiedError] = None
+        for i, conn in enumerate(self._conns):
             try:
                 conn.send(("stop",))
             except Exception:
-                pass
-        for proc in self._procs:
+                pass  # already dead; the exit code check below reports it
+        for i, proc in enumerate(self._procs):
             proc.join(timeout=10)
             if proc.is_alive():  # pragma: no cover - crash cleanup
                 proc.terminate()
                 proc.join(timeout=10)
+            if proc.exitcode not in (0, None) and failure is None:
+                failure = WorkerDiedError(
+                    worker=i,
+                    superstep=self._last_superstep,
+                    exitcode=proc.exitcode,
+                )
+        for conn in self._conns:
+            try:
+                conn.close()
+            except Exception:
+                pass
+        self._procs = []
+        self._conns = []
+        if failure is not None:
+            raise failure
+
+    def abort(self) -> None:
+        """Best-effort teardown for error paths — never raises, never hangs."""
+        for proc in self._procs:
+            try:
+                if proc.is_alive():
+                    proc.terminate()
+            except Exception:
+                pass
+        for proc in self._procs:
+            try:
+                proc.join(timeout=10)
+                if proc.is_alive():  # pragma: no cover - hard kill fallback
+                    proc.kill()
+                    proc.join(timeout=10)
+            except Exception:
+                pass
         for conn in self._conns:
             try:
                 conn.close()

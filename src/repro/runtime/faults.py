@@ -1,0 +1,184 @@
+"""Deterministic fault injection and the failure taxonomy for parallel runs.
+
+Giraph's durability story is *checkpoint + restart*: worker state and
+in-flight messages are checkpointed at BSP barriers, a failed worker is
+detected by the master, and the computation restarts from the last
+checkpoint.  `repro.runtime.checkpoint` provides the checkpoints; this
+module provides the failures — on purpose, so the recovery path is
+exercised by tests and CI rather than waiting for a real crash.
+
+A :class:`FaultPlan` is a list of "kill worker-process *w* at superstep
+*s*" actions.  The :class:`~repro.runtime.executor.ParallelExecutor`
+consults the plan at the top of every superstep and delivers a real
+``SIGKILL`` to the victim — not an exception, not a mock: the process dies
+mid-run and the master discovers it through the broken pipe, exactly as it
+would a genuine crash.  Each action fires at most once so that the replay
+after recovery does not re-kill the respawned worker.
+
+Failure taxonomy
+----------------
+``WorkerDiedError``
+    A worker *process* vanished (nonzero exit / killed / pipe EOF).  Raised
+    by the executor with the worker id, last superstep and exit code;
+    recoverable when checkpointing gives the engine somewhere to roll back
+    to (the engine also recovers checkpoint-less runs by replaying from
+    superstep 1).
+``UnrecoverableRunError``
+    Recovery was attempted and exhausted (retry limit) or is impossible;
+    carries the final underlying failure as ``__cause__``.
+
+User-program exceptions are *not* faults: they travel back from workers as
+the original exception (wrapped in ``IcmProgramError`` by the processor)
+and are never retried — a deterministic program bug would fail identically
+on every replay.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "FaultAction",
+    "FaultPlan",
+    "UnrecoverableRunError",
+    "WorkerDiedError",
+]
+
+
+class WorkerDiedError(RuntimeError):
+    """A parallel worker process died (crash, kill, or silent nonzero exit).
+
+    Distinct from a user-program exception: those are pickled back over the
+    pipe and re-raised as themselves.  This error means the *process* is
+    gone and its partition state with it.
+    """
+
+    def __init__(self, worker: int, superstep: int, exitcode: Optional[int] = None,
+                 detail: str = ""):
+        suffix = f" (exit code {exitcode})" if exitcode is not None else ""
+        extra = f": {detail}" if detail else ""
+        super().__init__(
+            f"parallel worker {worker} died at superstep {superstep}{suffix}{extra}"
+        )
+        self.worker = worker
+        self.superstep = superstep
+        self.exitcode = exitcode
+
+    def __reduce__(self):
+        return (WorkerDiedError, (self.worker, self.superstep, self.exitcode))
+
+
+class UnrecoverableRunError(RuntimeError):
+    """Worker failure that recovery could not (or was not allowed to) absorb."""
+
+
+@dataclass
+class FaultAction:
+    """Kill worker-process ``worker`` at the start of ``superstep``.
+
+    ``worker`` indexes the executor's *processes* (0-based); plans written
+    against more processes than a run actually has wrap via modulo, so a
+    seeded plan stays meaningful at any scale.
+    """
+
+    worker: int
+    superstep: int
+    fired: bool = field(default=False, compare=False)
+
+
+class FaultPlan:
+    """A deterministic schedule of worker kills.
+
+    Parameters
+    ----------
+    actions:
+        The kill schedule.  Each action fires at most once per plan
+        instance — recovery replays the killed superstep, and re-killing
+        the respawned worker forever would make every plan unrecoverable.
+    """
+
+    def __init__(self, actions: list[FaultAction]):
+        self.actions = list(actions)
+
+    @classmethod
+    def kill(cls, worker: int, superstep: int) -> "FaultPlan":
+        """Single-kill plan: ``kill worker <worker> at superstep <superstep>``."""
+        return cls([FaultAction(worker, superstep)])
+
+    @classmethod
+    def seeded(cls, seed: int, *, kills: int = 1, max_superstep: int = 6) -> "FaultPlan":
+        """A reproducible random plan (chaos testing's coin, minted once).
+
+        Draws ``kills`` distinct supersteps in ``[2, max_superstep]`` (the
+        first superstep is the init flood; killing later exercises real
+        rollback) and a worker rank for each from ``random.Random(seed)``.
+        """
+        rng = random.Random(seed)
+        hi = max(2, max_superstep)
+        steps = rng.sample(range(2, hi + 1), min(kills, hi - 1))
+        return cls([FaultAction(rng.randrange(64), s) for s in sorted(steps)])
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse the ``REPRO_FAULT_PLAN`` environment syntax.
+
+        ``"kill:1@3"`` kills worker 1 at superstep 3 (comma-separate for
+        several), ``"seed:42"`` builds :meth:`seeded` with that seed.
+        """
+        kind, sep, rest = spec.partition(":")
+        if not sep:
+            raise ValueError(
+                f"invalid fault plan {spec!r} (expected 'kill:W@S[,W@S...]' or 'seed:N')"
+            )
+        if kind == "seed":
+            try:
+                return cls.seeded(int(rest))
+            except ValueError:
+                raise ValueError(
+                    f"invalid fault plan seed {rest!r} in {spec!r} (expected an integer)"
+                ) from None
+        if kind == "kill":
+            actions = []
+            for part in rest.split(","):
+                worker_s, sep, step_s = part.partition("@")
+                try:
+                    if not sep:
+                        raise ValueError
+                    actions.append(FaultAction(int(worker_s), int(step_s)))
+                except ValueError:
+                    raise ValueError(
+                        f"invalid kill spec {part!r} in {spec!r} (expected 'W@S')"
+                    ) from None
+            return cls(actions)
+        raise ValueError(
+            f"unknown fault plan kind {kind!r} in {spec!r} (expected 'kill' or 'seed')"
+        )
+
+    def victims(self, superstep: int, num_procs: int) -> list[int]:
+        """Worker-process indexes to kill at ``superstep``; marks them fired."""
+        out = []
+        for action in self.actions:
+            if action.fired or action.superstep != superstep:
+                continue
+            action.fired = True
+            out.append(action.worker % num_procs)
+        return sorted(set(out))
+
+    def pending(self) -> int:
+        """Actions that have not fired yet."""
+        return sum(1 for a in self.actions if not a.fired)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{a.worker}@{a.superstep}{'*' if a.fired else ''}" for a in self.actions
+        )
+        return f"FaultPlan({inner})"
+
+
+def kill_process(pid: int) -> None:
+    """Deliver an uncatchable SIGKILL — the injected fault is a real death."""
+    os.kill(pid, signal.SIGKILL)

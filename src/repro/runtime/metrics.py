@@ -47,6 +47,38 @@ class SuperstepMetrics:
 
 
 @dataclass
+class RecoveryMetrics:
+    """Durability-layer accounting: what checkpointing and recovery cost.
+
+    Kept separate from the modeled/counted fields because none of it exists
+    in an uninterrupted run's model — a recovered run must report the *same*
+    counters and modeled makespan as an uninterrupted one (that is the whole
+    correctness claim), with the operational story told here instead.
+    """
+
+    #: Checkpoints written during the run.
+    checkpoints_written: int = 0
+    #: Total bytes of all shard/manifest files written.
+    checkpoint_bytes: int = 0
+    #: Wall-clock spent snapshotting + writing checkpoints.
+    checkpoint_seconds: float = 0.0
+    #: Worker-process deaths the master recovered from.
+    restarts: int = 0
+    #: Supersteps re-executed during recovery replays (work lost to crashes).
+    replayed_supersteps: int = 0
+    #: Wall-clock spent tearing down, reloading and respawning after crashes.
+    recovery_seconds: float = 0.0
+
+    def merge(self, other: "RecoveryMetrics") -> None:
+        self.checkpoints_written += other.checkpoints_written
+        self.checkpoint_bytes += other.checkpoint_bytes
+        self.checkpoint_seconds += other.checkpoint_seconds
+        self.restarts += other.restarts
+        self.replayed_supersteps += other.replayed_supersteps
+        self.recovery_seconds += other.recovery_seconds
+
+
+@dataclass
 class RunMetrics:
     """Aggregated metrics for one algorithm run on one platform."""
 
@@ -92,6 +124,8 @@ class RunMetrics:
 
     peak_inflight_messages: int = 0
     supersteps_detail: list[SuperstepMetrics] = field(default_factory=list)
+    #: Checkpoint/recovery costs (`repro.runtime.checkpoint` / `.faults`).
+    recovery: RecoveryMetrics = field(default_factory=RecoveryMetrics)
 
     def merge(self, other: "RunMetrics") -> None:
         """Accumulate another run (e.g. one snapshot of a multi-snapshot
@@ -122,6 +156,7 @@ class RunMetrics:
             self.peak_inflight_messages, other.peak_inflight_messages
         )
         self.supersteps_detail.extend(other.supersteps_detail)
+        self.recovery.merge(other.recovery)
 
     @property
     def total_messages(self) -> int:

@@ -1,0 +1,71 @@
+"""FaultPlan semantics and the worker-failure taxonomy."""
+
+import pickle
+
+import pytest
+
+from repro.runtime.faults import FaultAction, FaultPlan, WorkerDiedError
+
+
+class TestFaultPlan:
+    def test_kill_single(self):
+        plan = FaultPlan.kill(2, 5)
+        assert plan.actions == [FaultAction(2, 5)]
+
+    def test_victims_fire_once(self):
+        plan = FaultPlan.kill(1, 3)
+        assert plan.victims(2, 4) == []
+        assert plan.victims(3, 4) == [1]
+        # the replay of superstep 3 must not re-kill the respawned worker
+        assert plan.victims(3, 4) == []
+        assert plan.pending() == 0
+
+    def test_victims_wrap_modulo_process_count(self):
+        assert FaultPlan.kill(5, 1).victims(1, 2) == [1]
+
+    def test_same_superstep_kills_dedupe(self):
+        plan = FaultPlan([FaultAction(0, 2), FaultAction(2, 2)])
+        assert plan.victims(2, 2) == [0]
+
+    def test_seeded_is_deterministic(self):
+        a = FaultPlan.seeded(42, kills=2)
+        b = FaultPlan.seeded(42, kills=2)
+        assert [(x.worker, x.superstep) for x in a.actions] == [
+            (x.worker, x.superstep) for x in b.actions
+        ]
+        supersteps = [x.superstep for x in a.actions]
+        assert len(set(supersteps)) == 2
+        assert all(2 <= s <= 6 for s in supersteps)
+
+    def test_parse_kill_specs(self):
+        plan = FaultPlan.parse("kill:1@3,0@5")
+        assert [(a.worker, a.superstep) for a in plan.actions] == [(1, 3), (0, 5)]
+
+    def test_parse_seed(self):
+        assert FaultPlan.parse("seed:7").actions == FaultPlan.seeded(7).actions
+
+    @pytest.mark.parametrize("spec", ["", "kill", "kill:1", "kill:a@b",
+                                      "seed:x", "chaos:1@2"])
+    def test_parse_rejects_garbage(self, spec):
+        # every rejection names the offending spec so the env var is
+        # diagnosable from the traceback alone
+        with pytest.raises(ValueError, match="fault plan|kill spec"):
+            FaultPlan.parse(spec)
+
+    def test_repr_marks_fired(self):
+        plan = FaultPlan.kill(1, 3)
+        plan.victims(3, 2)
+        assert "1@3*" in repr(plan)
+
+
+class TestWorkerDiedError:
+    def test_message_names_worker_and_superstep(self):
+        err = WorkerDiedError(worker=2, superstep=5, exitcode=-9)
+        assert "worker 2" in str(err)
+        assert "superstep 5" in str(err)
+        assert "-9" in str(err)
+
+    def test_pickle_roundtrip(self):
+        err = WorkerDiedError(worker=1, superstep=4, exitcode=-9)
+        back = pickle.loads(pickle.dumps(err))
+        assert (back.worker, back.superstep, back.exitcode) == (1, 4, -9)
