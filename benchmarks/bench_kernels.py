@@ -25,6 +25,12 @@ Times the engine's four hot kernels on synthetic workloads —
                     *overhead ratio* (checkpointed / plain wall-clock),
                     hardware-independent like a speedup; full mode enforces
                     a hard <15% ceiling.
+* **observability** — the same engine workload fully instrumented (JSON-lines
+                    trace writer + in-memory event observer) against the
+                    uninstrumented run, after asserting identical states.
+                    Gated like checkpointing, with a hard <10% ceiling in
+                    full mode: structured events are emitted per superstep,
+                    not per message, so tracing must stay near-free.
 
 Results are written to ``BENCH_kernels.json`` at the repository root: a
 committed **baseline** plus a bounded run **history**, so the repo carries
@@ -58,13 +64,16 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT))  # for tests.core._reference_impls
 
-from repro.core.engine import IntervalCentricEngine  # noqa: E402
+from repro import api  # noqa: E402
 from repro.core.interval import Interval  # noqa: E402
 from repro.core.messages import IntervalMessage  # noqa: E402
 from repro.core.program import IntervalProgram  # noqa: E402
 from repro.core.state import PartitionedState  # noqa: E402
 from repro.core.warp import merge_join_partitioned, time_warp  # noqa: E402
 from repro.graph.builder import TemporalGraphBuilder  # noqa: E402
+from repro.obs.exporters import render_summary  # noqa: E402
+from repro.obs.observers import InMemoryEvents, JsonlTraceWriter  # noqa: E402
+from repro.obs.registry import RUN_METRICS  # noqa: E402
 from repro.runtime.cluster import SimulatedCluster  # noqa: E402
 from repro.runtime.encoding import decode_message, encode_message  # noqa: E402
 
@@ -81,9 +90,10 @@ RESULTS_PATH = REPO_ROOT / "BENCH_kernels.json"
 REGRESSION_TOLERANCE = {"full": 0.20, "smoke": 0.50}
 HISTORY_LIMIT = 50
 SPEEDUP_FLOOR = {"warp_10k": 3.0, "engine_parallel": 1.7}  # acceptance bars
-#: Hard ceiling on overhead-style metrics (checkpointed / plain wall-clock).
-#: The checkpoint cadence of 4 must cost <15% on the 10k-message workload.
-OVERHEAD_CAP = {"checkpoint_overhead": 1.15}
+#: Hard ceiling on overhead-style metrics (instrumented / plain wall-clock).
+#: The checkpoint cadence of 4 must cost <15% on the 10k-message workload;
+#: full observability instrumentation must cost <10% on the same workload.
+OVERHEAD_CAP = {"checkpoint_overhead": 1.15, "observability_overhead": 1.10}
 #: Parallel-executor floors only bind when this many cores are available —
 #: below that the speedup is physically out of reach.
 FLOOR_MIN_CORES = 4
@@ -284,11 +294,10 @@ def bench_engine_parallel(sizes, repeats):
     supersteps = sizes["engine_supersteps"]
 
     def run(executor, processes=None):
-        engine = IntervalCentricEngine(
+        return api.run(
             graph, _FloodMin(supersteps), cluster=SimulatedCluster(shards),
-            executor=executor, executor_processes=processes,
+            options={"executor": executor, "executor_processes": processes},
         )
-        return engine.run()
 
     serial = run("serial")
     parallel = run("parallel", sizes["engine_procs"])
@@ -325,14 +334,15 @@ def bench_checkpoint_overhead(sizes, repeats):
     supersteps = sizes["engine_supersteps"]
 
     def run(checkpoint_dir=None):
-        engine = IntervalCentricEngine(
+        return api.run(
             graph, _FloodMin(supersteps), cluster=SimulatedCluster(shards),
-            executor="serial",
-            # 0 disables checkpointing outright (immune to env knobs).
-            checkpoint_every=4 if checkpoint_dir else 0,
-            checkpoint_dir=checkpoint_dir,
+            options={
+                "executor": "serial",
+                # 0 disables checkpointing outright (immune to env knobs).
+                "checkpoint_every": 4 if checkpoint_dir else 0,
+                "checkpoint_dir": checkpoint_dir,
+            },
         )
-        return engine.run()
 
     ckpt_dir = tempfile.mkdtemp(prefix="bench-ckpt-")
     try:
@@ -355,6 +365,60 @@ def bench_checkpoint_overhead(sizes, repeats):
         "overhead": ckpt_s / plain_s,
         "checkpoints": ckpt.metrics.recovery.checkpoints_written,
         "checkpoint_bytes": ckpt.metrics.recovery.checkpoint_bytes,
+        "messages": plain.metrics.messages_sent,
+    }
+
+
+def bench_observability_overhead(sizes, repeats):
+    """Fully instrumented engine run vs the bare run, same workload.
+
+    "Fully instrumented" means both shipping observers at once: the
+    JSON-lines trace writer (I/O per event) and the in-memory collector.
+    Events are superstep-granular, so the quotient bounds the cost of the
+    whole `repro.obs` layer, not of one exporter.
+    """
+    graph = _build_engine_workload(sizes)
+    shards = sizes["engine_shards"]
+    supersteps = sizes["engine_supersteps"]
+
+    def run(observe=None):
+        return api.run(
+            graph, _FloodMin(supersteps), cluster=SimulatedCluster(shards),
+            options={"executor": "serial", "checkpoint_every": 0},
+            observe=observe,
+        )
+
+    trace_dir = tempfile.mkdtemp(prefix="bench-obs-")
+    trace_path = os.path.join(trace_dir, "bench.trace")
+
+    def instrumented():
+        return run(observe=[InMemoryEvents(), JsonlTraceWriter(trace_path)])
+
+    try:
+        plain = run()
+        events = InMemoryEvents()
+        observed = run(observe=[events, JsonlTraceWriter(trace_path)])
+        assert {v: list(s) for v, s in plain.states.items()} == \
+               {v: list(s) for v, s in observed.states.items()}, (
+            "instrumented engine run diverged from the plain run"
+        )
+        assert events.records, "instrumented run emitted no events"
+        modeled = RUN_METRICS.names(modeled=True)
+        assert all(
+            getattr(plain.metrics, f) == getattr(observed.metrics, f)
+            for f in modeled
+        ), "observation perturbed the modeled metrics"
+        # Benchmark logs share the CLI's metric renderer (one code path).
+        print(render_summary(observed.metrics))
+        plain_s = best_of(run, repeats)
+        instrumented_s = best_of(instrumented, repeats)
+    finally:
+        shutil.rmtree(trace_dir, ignore_errors=True)
+    return {
+        "opt_s": instrumented_s,
+        "ref_s": plain_s,
+        "overhead": instrumented_s / plain_s,
+        "events": len(events.records),
         "messages": plain.metrics.messages_sent,
     }
 
@@ -453,16 +517,22 @@ def main(argv=None) -> int:
         ("encode_roundtrip", lambda: bench_encode(sizes, repeats, calib)),
         ("engine_parallel", lambda: bench_engine_parallel(sizes, repeats)),
         ("checkpoint_overhead", lambda: bench_checkpoint_overhead(sizes, repeats)),
+        ("observability_overhead",
+         lambda: bench_observability_overhead(sizes, repeats)),
     ):
         result = fn()
         results[name] = result
         if "overhead" in result:
+            if "checkpoints" in result:
+                extra = (f"({result['checkpoints']} ckpts, "
+                         f"{result['checkpoint_bytes']} bytes)")
+            else:
+                extra = f"({result['events']} events)"
             print(
                 f"  {name:20s} opt {result['opt_s'] * 1e3:8.2f} ms   "
                 f"ref {result['ref_s'] * 1e3:9.2f} ms   "
                 f"overhead {result['overhead']:5.3f}x   "
-                f"({result['checkpoints']} ckpts, "
-                f"{result['checkpoint_bytes']} bytes)"
+                f"{extra}"
             )
         elif "speedup" in result:
             extra = (

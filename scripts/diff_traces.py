@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Diff two run traces on their logical event sequences.
+
+The observability contract says serial and parallel executions of the
+same run emit identical *logical* event sequences — type, superstep and
+``data`` payload — differing only in ``wall`` facts (durations, paths,
+executor names).  CI records one algorithm under both executors with
+``repro run --trace-out`` and feeds the files here; exit 1 means the
+executors disagreed about what logically happened.
+
+Usage: ``python scripts/diff_traces.py A.trace B.trace``
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.exporters import logical_sequence, read_trace  # noqa: E402
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__.strip().splitlines()[-1])
+        return 2
+    left_path, right_path = argv[1], argv[2]
+    left = logical_sequence(read_trace(left_path))
+    right = logical_sequence(read_trace(right_path))
+    if left == right:
+        print(f"traces logically identical ({len(left)} events)")
+        return 0
+    print(f"traces differ: {left_path} has {len(left)} logical events, "
+          f"{right_path} has {len(right)}")
+    for i, (a, b) in enumerate(zip(left, right)):
+        if a != b:
+            print(f"  first divergence at event {i}:")
+            print(f"    {left_path}: {a}")
+            print(f"    {right_path}: {b}")
+            break
+    else:
+        longer, path = (left, left_path) if len(left) > len(right) else (right, right_path)
+        print(f"  {path} continues with: {longer[min(len(left), len(right))]}")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

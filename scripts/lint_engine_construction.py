@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Lint: `IntervalCentricEngine` may only be constructed in `repro.api`.
+
+The api_redesign contract routes every in-tree engine construction
+through the :mod:`repro.api` facade so configuration, environment
+resolution and observability stay on one code path.  This script greps
+``src/repro`` for direct ``IntervalCentricEngine(`` construction and
+fails (exit 1) on any hit outside the allowlist.  Tests are exempt —
+they exercise the legacy shim on purpose.
+
+Usage: ``python scripts/lint_engine_construction.py [repo-root]``
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Files allowed to construct the engine directly.
+ALLOWED = {"src/repro/api.py"}
+
+#: A call site: the class name followed by ``(``, not preceded by a quote
+#: (deprecation-warning text in config.py spells the legacy call inside a
+#: string literal) and not part of a longer identifier.
+CALL = re.compile(r"""(?<!["'\w])IntervalCentricEngine\(""")
+
+
+def violations(root: Path) -> list[str]:
+    found = []
+    for path in sorted((root / "src" / "repro").rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        if rel in ALLOWED:
+            continue
+        for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if CALL.search(line):
+                found.append(f"{rel}:{lineno}: {line.strip()}")
+    return found
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parent.parent
+    found = violations(root)
+    if found:
+        print("direct IntervalCentricEngine construction outside repro.api:")
+        for hit in found:
+            print(f"  {hit}")
+        print("build engines via repro.api.build_engine / api.run instead")
+        return 1
+    print("engine-construction lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -8,14 +8,20 @@ paper's evaluation, and the 12 temporal graph algorithms it studies.
 
 Quickstart
 ----------
->>> from repro import Interval, IntervalCentricEngine
+>>> from repro import api
 >>> from repro.datasets import transit_graph
 >>> from repro.algorithms.td.sssp import TemporalSSSP
->>> result = IntervalCentricEngine(transit_graph(), TemporalSSSP("A")).run()
+>>> result = api.run(transit_graph(), TemporalSSSP("A"))
 >>> result.value_at("E", 10)  # cheapest time-respecting cost, arriving by 10
 5
+
+Engines are configured through :class:`repro.api.EngineConfig` and
+observed through `repro.obs` (structured run events, metric registry,
+exporters); see ``api.run(..., observe="run.trace")`` and the
+``repro report`` CLI command.
 """
 
+from . import api
 from .core import (
     FOREVER,
     IcmResult,

@@ -15,11 +15,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional
 
+from repro import api
 from repro.baselines.chlonos import run_chlonos
 from repro.baselines.goffish import GoffishEngine
 from repro.baselines.msb import run_msb
 from repro.baselines.tgb import run_tgb
-from repro.core.engine import IntervalCentricEngine
+from repro.core.config import EngineConfig
 from repro.graph.model import TemporalGraph
 from repro.graph.transform import build_snapshot_replica_graph
 from repro.runtime.cluster import SimulatedCluster
@@ -84,13 +85,20 @@ def run_algorithm(
     horizon: Optional[int] = None,
     batch_size: Optional[int] = None,
     icm_options: Optional[dict[str, Any]] = None,
+    config: Optional[EngineConfig] = None,
+    observe: Any = None,
     resume_from: Optional[str] = None,
 ) -> RunOutcome:
     """Execute one (algorithm, platform) cell of the evaluation matrix.
 
-    ``resume_from`` continues a GRAPHITE run from a checkpoint directory
-    (see `repro.runtime.checkpoint`); it applies to single-engine GRAPHITE
-    algorithms only — SCC's peeling loop runs many engines per call.
+    GRAPHITE engines are built through `repro.api`: ``config`` is the base
+    :class:`EngineConfig` (default: ``EngineConfig.from_env()``),
+    ``icm_options`` are flat option overrides, and ``observe`` attaches
+    structured-event observers (baseline platforms have no engine to
+    observe).  ``resume_from`` continues a GRAPHITE run from a checkpoint
+    directory (see `repro.runtime.checkpoint`); it applies to
+    single-engine GRAPHITE algorithms only — SCC's peeling loop runs many
+    engines per call.
     """
     if algorithm not in ALL_ALGORITHMS:
         raise ValueError(f"unknown algorithm {algorithm!r}")
@@ -113,10 +121,11 @@ def run_algorithm(
     icm_options = icm_options or {}
 
     def icm(g, program):
-        engine = IntervalCentricEngine(
-            g, program, cluster=cluster, graph_name=graph_name, **icm_options
+        return api.run(
+            g, program, cluster=cluster, graph_name=graph_name,
+            config=config, options=icm_options, observe=observe,
+            resume_from=resume_from,
         )
-        return engine.run(resume_from=resume_from)
 
     # --- TI ------------------------------------------------------------------
     if algorithm == "BFS":
@@ -144,7 +153,7 @@ def run_algorithm(
         if platform == "GRAPHITE":
             res = run_icm_scc(
                 graph, cluster=cluster, graph_name=graph_name,
-                icm_options=icm_options,
+                icm_options=icm_options, config=config, observe=observe,
             )
             return RunOutcome(algorithm, platform, res.metrics, res)
         if platform == "MSB":

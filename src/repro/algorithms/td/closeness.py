@@ -19,7 +19,8 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Optional
 
-from repro.core.engine import IntervalCentricEngine
+from repro import api
+from repro.core.config import EngineConfig
 from repro.graph.model import TemporalGraph
 from repro.runtime.cluster import SimulatedCluster
 from repro.runtime.metrics import RunMetrics
@@ -34,11 +35,14 @@ def temporal_closeness(
     cluster: Optional[SimulatedCluster] = None,
     graph_name: str = "",
     time_label: str = "travel-time",
+    config: Optional[EngineConfig] = None,
+    observe: Any = None,
 ) -> tuple[dict[Any, float], RunMetrics]:
     """Harmonic temporal closeness for each source (default: all vertices).
 
     Returns the closeness map and the accumulated run metrics of the
-    underlying per-source EAT executions.
+    underlying per-source EAT executions; ``observe`` is shared by every
+    per-source run.
     """
     cluster = cluster or SimulatedCluster()
     if sources is None:
@@ -46,10 +50,11 @@ def temporal_closeness(
     total = RunMetrics(platform="GRAPHITE", algorithm="CLOSENESS", graph=graph_name)
     closeness: dict[Any, float] = {}
     for source in sources:
-        result = IntervalCentricEngine(
+        result = api.run(
             graph, TemporalEAT(source, time_label=time_label),
             cluster=cluster, graph_name=graph_name,
-        ).run()
+            config=config, observe=observe,
+        )
         total.merge(result.metrics)
         start = graph.vertex(source).lifespan.start
         score = 0.0

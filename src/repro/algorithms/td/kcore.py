@@ -16,8 +16,10 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from repro import api
 from repro.core.combiner import sum_combiner
-from repro.core.engine import IcmResult, IntervalCentricEngine
+from repro.core.config import EngineConfig
+from repro.core.engine import IcmResult
 from repro.core.interval import Interval
 from repro.core.program import IntervalProgram
 from repro.graph.model import TemporalGraph
@@ -68,6 +70,8 @@ def run_temporal_kcore(
     *,
     cluster: Optional[SimulatedCluster] = None,
     graph_name: str = "",
+    config: Optional[EngineConfig] = None,
+    observe: Any = None,
 ) -> IcmResult:
     """Convenience driver: mirrors edges, runs the peeling, returns states.
 
@@ -77,11 +81,11 @@ def run_temporal_kcore(
     from repro.algorithms.ti.wcc import make_undirected
 
     undirected = make_undirected(graph)
-    engine = IntervalCentricEngine(
+    return api.run(
         undirected, TemporalKCore(k),
         cluster=cluster or SimulatedCluster(), graph_name=graph_name,
+        config=config, observe=observe,
     )
-    return engine.run()
 
 
 def snapshot_kcore(snapshot: StaticGraph, k: int) -> set[Any]:

@@ -24,8 +24,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
+from repro import api
 from repro.core.combiner import min_combiner
-from repro.core.engine import IntervalCentricEngine
+from repro.core.config import EngineConfig
 from repro.core.interval import Interval
 from repro.core.program import IntervalProgram
 from repro.core.state import PartitionedState
@@ -93,8 +94,15 @@ def run_icm_scc(
     graph_name: str = "",
     max_rounds: int = 10_000,
     icm_options: Optional[dict] = None,
+    config: Optional[EngineConfig] = None,
+    observe: Any = None,
 ) -> SccResult:
-    """Peeling driver running paired forward/backward ICM passes."""
+    """Peeling driver running paired forward/backward ICM passes.
+
+    ``observe`` is shared by every pass: a trace path collects one
+    ``run_start``-delimited segment per engine run, which ``repro
+    report`` aggregates back into a single SCC row.
+    """
     cluster = cluster or SimulatedCluster()
     icm_options = icm_options or {}
     reversed_graph = graph.reversed()
@@ -105,14 +113,16 @@ def run_icm_scc(
     rounds = 0
     while _has_unassigned(assigned) and rounds < max_rounds:
         rounds += 1
-        fwd = IntervalCentricEngine(
-            graph, MinLabelPass(assigned), cluster=cluster, graph_name=graph_name,
-            **icm_options,
-        ).run()
-        bwd = IntervalCentricEngine(
+        fwd = api.run(
+            graph, MinLabelPass(assigned), cluster=cluster,
+            graph_name=graph_name, config=config, options=icm_options,
+            observe=observe,
+        )
+        bwd = api.run(
             reversed_graph, MinLabelPass(assigned), cluster=cluster,
-            graph_name=graph_name, **icm_options,
-        ).run()
+            graph_name=graph_name, config=config, options=icm_options,
+            observe=observe,
+        )
         total.merge(fwd.metrics)
         total.merge(bwd.metrics)
         progressed = _assign_matching(assigned, fwd.states, bwd.states)

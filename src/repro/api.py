@@ -1,0 +1,177 @@
+"""The public front door: configured runs with first-class observability.
+
+Every in-tree consumer (CLI, runners, streaming, benchmarks) builds
+GRAPHITE engines through this module; direct
+:class:`~repro.core.engine.IntervalCentricEngine` construction elsewhere
+is a lint failure.  The three entry points:
+
+* :func:`build_engine` — construct an engine from an
+  :class:`~repro.core.config.EngineConfig` (plus flat option overrides
+  and an ``observe=`` shorthand);
+* :func:`run` — build and execute in one call, returning the
+  :class:`~repro.core.engine.IcmResult`;
+* :func:`compare` — one algorithm across every applicable platform (a
+  one-row slice of the paper's Table 2).
+
+Quickstart::
+
+    from repro import api
+    from repro.datasets import transit_graph
+    from repro.algorithms.td.sssp import TemporalSSSP
+
+    result = api.run(transit_graph(), TemporalSSSP("A"))
+    result = api.run(transit_graph(), TemporalSSSP("A"),
+                     observe="sssp.trace")        # JSON-lines event trace
+    outcomes = api.compare("SSSP", transit_graph())
+
+``observe=`` accepts a trace-file path, any observer object (something
+with ``on_event``), an iterable of observers, or a full
+:class:`~repro.core.config.ObservabilityConfig`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Optional
+
+from repro.core.config import (
+    CheckpointConfig,
+    EngineConfig,
+    ExecutorConfig,
+    ObservabilityConfig,
+    StateConfig,
+    WarpConfig,
+)
+from repro.core.engine import IcmResult, IntervalCentricEngine
+from repro.runtime.cluster import SimulatedCluster
+
+__all__ = [
+    "CheckpointConfig",
+    "EngineConfig",
+    "ExecutorConfig",
+    "IcmResult",
+    "IntervalCentricEngine",
+    "ObservabilityConfig",
+    "StateConfig",
+    "WarpConfig",
+    "build_engine",
+    "compare",
+    "run",
+]
+
+
+def _effective_config(
+    config: Optional[EngineConfig],
+    options: Optional[dict],
+    observe: Any,
+) -> EngineConfig:
+    cfg = config if config is not None else EngineConfig.from_env()
+    if options:
+        cfg = cfg.with_options(**options)
+    if observe is not None:
+        cfg = dataclasses.replace(
+            cfg,
+            observability=cfg.observability.merged_with(
+                ObservabilityConfig.coerce(observe)
+            ),
+        )
+    return cfg
+
+
+def build_engine(
+    graph,
+    program,
+    *,
+    cluster: Optional[SimulatedCluster] = None,
+    graph_name: str = "",
+    config: Optional[EngineConfig] = None,
+    options: Optional[dict] = None,
+    observe: Any = None,
+) -> IntervalCentricEngine:
+    """Construct a configured engine (without running it).
+
+    ``config`` defaults to :meth:`EngineConfig.from_env`; ``options`` are
+    flat overrides in legacy-kwarg names (``{"executor": "parallel"}``)
+    applied via :meth:`EngineConfig.with_options` — no deprecation
+    warnings, this is the supported programmatic spelling; ``observe``
+    adds observability on top (path / observer / iterable /
+    :class:`ObservabilityConfig`).
+    """
+    cfg = _effective_config(config, options, observe)
+    return IntervalCentricEngine(
+        graph, program, cluster=cluster, graph_name=graph_name, config=cfg
+    )
+
+
+def run(
+    graph,
+    program,
+    *,
+    cluster: Optional[SimulatedCluster] = None,
+    graph_name: str = "",
+    config: Optional[EngineConfig] = None,
+    options: Optional[dict] = None,
+    observe: Any = None,
+    warm_states: Optional[dict] = None,
+    rescatter: Optional[dict] = None,
+    resume_from: Optional[str] = None,
+) -> IcmResult:
+    """Build an engine and execute it to convergence.
+
+    ``warm_states``/``rescatter``/``resume_from`` pass straight through to
+    :meth:`IntervalCentricEngine.run`.
+    """
+    engine = build_engine(
+        graph,
+        program,
+        cluster=cluster,
+        graph_name=graph_name,
+        config=config,
+        options=options,
+        observe=observe,
+    )
+    return engine.run(
+        warm_states=warm_states, rescatter=rescatter, resume_from=resume_from
+    )
+
+
+def compare(
+    algorithm: str,
+    graph,
+    *,
+    platforms: Optional[tuple] = None,
+    cluster: Optional[SimulatedCluster] = None,
+    workers: int = 8,
+    graph_name: str = "",
+    config: Optional[EngineConfig] = None,
+    options: Optional[dict] = None,
+    observe: Any = None,
+    **runner_kwargs: Any,
+):
+    """Run ``algorithm`` on every applicable platform; returns the
+    :class:`~repro.algorithms.runners.RunOutcome` list in platform order.
+
+    A fresh ``SimulatedCluster(workers)`` is built per platform unless an
+    explicit ``cluster`` is given (sharing one cluster across platforms
+    would let one platform's traffic history leak into another's model).
+    GRAPHITE runs honour ``config``/``options``/``observe``; baseline
+    platforms have no engine to configure.
+    """
+    from repro.algorithms.runners import platforms_for, run_algorithm
+
+    outcomes = []
+    for platform in platforms or platforms_for(algorithm):
+        outcomes.append(
+            run_algorithm(
+                algorithm,
+                platform,
+                graph,
+                cluster=cluster or SimulatedCluster(workers),
+                graph_name=graph_name,
+                config=config,
+                icm_options=options,
+                observe=observe,
+                **runner_kwargs,
+            )
+        )
+    return outcomes

@@ -9,6 +9,7 @@ Commands
 ``datasets``  Print Table-1 style statistics for the built-in surrogates.
 ``convert``   Dump a surrogate dataset to the text graph format.
 ``trace``     Render a Fig-2-style execution trace of an ICM run.
+``report``    Rebuild a Table-4-style breakdown from a saved event trace.
 ``journeys``  Enumerate time-respecting journeys between two vertices.
 """
 
@@ -18,10 +19,18 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from repro.algorithms import ALL_ALGORITHMS, platforms_for, run_algorithm
+from repro import api
+from repro.algorithms import ALL_ALGORITHMS, run_algorithm
 from repro.datasets import SURROGATES, load_surrogate, transit_graph
 from repro.graph.io import dump_graph
 from repro.graph.stats import dataset_stats
+from repro.obs.exporters import (
+    prometheus_text,
+    read_trace,
+    render_report,
+    render_summary,
+    render_timeline,
+)
 from repro.runtime.cluster import SimulatedCluster
 
 DATASET_CHOICES = ("transit", *sorted(SURROGATES))
@@ -31,28 +40,6 @@ def _load(name: str, scale: float):
     if name == "transit":
         return transit_graph()
     return load_surrogate(name, scale=scale)
-
-
-def _print_metrics(metrics) -> None:
-    rows = [
-        ("platform", metrics.platform),
-        ("algorithm", metrics.algorithm),
-        ("supersteps", metrics.supersteps),
-        ("compute calls", metrics.compute_calls),
-        ("scatter calls", metrics.scatter_calls),
-        ("messages", metrics.messages_sent),
-        ("system messages", metrics.system_messages),
-        ("message bytes", metrics.message_bytes),
-        ("local / remote", f"{metrics.local_messages} / {metrics.remote_messages}"),
-        ("modeled makespan", f"{metrics.modeled_makespan * 1e3:.3f} ms"),
-        ("  compute+", f"{metrics.modeled_compute_time * 1e3:.3f} ms"),
-        ("  messaging", f"{metrics.messaging_time * 1e3:.3f} ms"),
-        ("  barriers", f"{metrics.barrier_time * 1e3:.3f} ms"),
-        ("wall time", f"{metrics.makespan * 1e3:.3f} ms"),
-    ]
-    width = max(len(label) for label, _ in rows)
-    for label, value in rows:
-        print(f"  {label.ljust(width)}  {value}")
 
 
 def _icm_options(args: argparse.Namespace) -> dict:
@@ -76,11 +63,18 @@ def cmd_run(args: argparse.Namespace) -> int:
         cluster=SimulatedCluster(args.workers),
         graph_name=args.dataset,
         icm_options=_icm_options(args),
+        observe=args.trace_out,
         resume_from=args.resume,
     )
     print(f"{args.algorithm} on {args.dataset} "
           f"({graph.num_vertices} vertices, {graph.num_edges} edges):")
-    _print_metrics(outcome.metrics)
+    print(render_summary(outcome.metrics))
+    if args.trace_out is not None:
+        print(f"  trace written to {args.trace_out}")
+    if args.metrics_out is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(prometheus_text(outcome.metrics))
+        print(f"  metrics written to {args.metrics_out}")
     return 0
 
 
@@ -89,16 +83,16 @@ def cmd_compare(args: argparse.Namespace) -> int:
     print(f"{args.algorithm} on {args.dataset}: platform comparison")
     print(f"  {'platform':10s} {'calls':>9s} {'messages':>9s} {'makespan':>12s}")
     base: Optional[float] = None
-    for platform in platforms_for(args.algorithm):
-        metrics = run_algorithm(
-            args.algorithm, platform, graph,
-            cluster=SimulatedCluster(args.workers), graph_name=args.dataset,
-            icm_options=_icm_options(args),
-        ).metrics
+    outcomes = api.compare(
+        args.algorithm, graph, workers=args.workers,
+        graph_name=args.dataset, options=_icm_options(args),
+    )
+    for outcome in outcomes:
+        metrics = outcome.metrics
         if base is None:
             base = metrics.modeled_makespan
         ratio = metrics.modeled_makespan / base
-        print(f"  {platform:10s} {metrics.compute_calls:9d} "
+        print(f"  {outcome.platform:10s} {metrics.compute_calls:9d} "
               f"{metrics.total_messages:9d} {metrics.modeled_makespan * 1e3:9.3f} ms "
               f"({ratio:.2f}x)")
     return 0
@@ -125,10 +119,8 @@ def cmd_convert(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    from repro.algorithms.runners import default_source, default_target
-    from repro.core.engine import IntervalCentricEngine
+    from repro.algorithms.runners import default_source
     from repro.core.tracing import ExecutionTracer
-    from repro.algorithms.runners import run_algorithm  # noqa: F401 (platforms)
 
     graph = _load(args.dataset, args.scale)
     source = default_source(graph)
@@ -151,14 +143,29 @@ def cmd_trace(args: argparse.Namespace) -> int:
     if args.executor == "parallel":
         print("trace requires the serial executor (tracing hooks run in-process)")
         return 2
-    engine = IntervalCentricEngine(
-        graph, programs[args.algorithm](), tracer=tracer, graph_name=args.dataset,
-        executor="serial",
+    engine = api.build_engine(
+        graph, programs[args.algorithm](), graph_name=args.dataset,
+        options={"tracer": tracer, "executor": "serial"},
     )
     engine.run()
     vertices = set(args.vertices) if args.vertices else None
     print(f"{args.algorithm} on {args.dataset} from source {source!r}:")
     print(tracer.render(vertices=vertices))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    try:
+        records = read_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace: {exc}")
+        return 2
+    if args.timeline:
+        print(f"timeline of {args.trace}:")
+        print(render_timeline(records))
+    else:
+        print(f"report from {args.trace} ({len(records)} events):")
+        print(render_report(records))
     return 0
 
 
@@ -223,6 +230,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="resume a GRAPHITE run from a checkpoint directory "
                             "written by --checkpoint-every; continues at "
                             "superstep N+1 with bit-identical results")
+    p_run.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="append a JSON-lines event trace of the run "
+                            "(GRAPHITE; read it back with `repro report`)")
+    p_run.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="write the run's metrics in Prometheus text format")
     add_common(p_run)
     p_run.set_defaults(fn=cmd_run)
 
@@ -239,6 +251,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_cv.add_argument("output", help="output file path")
     add_common(p_cv)
     p_cv.set_defaults(fn=cmd_convert)
+
+    p_rp = sub.add_parser("report", help="summarise a saved event trace")
+    p_rp.add_argument("trace", help="JSON-lines trace file written by "
+                                    "`repro run --trace-out`")
+    p_rp.add_argument("--timeline", action="store_true",
+                      help="per-superstep phase table instead of the "
+                           "per-algorithm breakdown")
+    p_rp.set_defaults(fn=cmd_report)
 
     p_tr = sub.add_parser("trace", help="render an execution trace")
     p_tr.add_argument("algorithm", choices=("SSSP", "EAT", "RH", "BFS"))

@@ -1,0 +1,385 @@
+"""Engine configuration: one frozen dataclass tree instead of 16 kwargs.
+
+:class:`EngineConfig` groups the :class:`~repro.core.engine.IntervalCentricEngine`
+knobs the way the paper discusses them — warp/combiner optimisations
+(Sec. VI), state partitioning (Sec. IV footnote 2), execution backend,
+durability, and observability — and is **frozen**: a config can be shared
+between engines (SCC's peeling loop, the streaming engine's refreshes)
+without one run mutating another's settings.
+
+Environment resolution lives in exactly one documented place,
+:meth:`EngineConfig.from_env`:
+
+============================  =================================================
+``REPRO_EXECUTOR``            ``serial`` | ``parallel`` → ``executor.kind``
+``REPRO_EXECUTOR_PROCESSES``  positive int → ``executor.processes``
+``REPRO_FAULT_PLAN``          ``kill:W@S`` / ``seed:N`` → ``executor.fault_plan``
+``REPRO_CHECKPOINT_EVERY``    non-negative int → ``checkpoint.every`` (0 = off)
+``REPRO_CHECKPOINT_DIR``      path → ``checkpoint.dir``
+============================  =================================================
+
+Every variable is validated eagerly — a typo fails loudly, naming the
+variable, instead of silently running the wrong configuration.  A config
+built by plain ``EngineConfig(...)`` is hermetic (no environment reads);
+the engine only consults the environment when no config is given, via
+``from_env()``.
+
+Observability settings (``observability``) never influence the computation
+and are deliberately excluded from the checkpoint config fingerprint
+(`repro.runtime.checkpoint.config_fingerprint`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+__all__ = [
+    "CheckpointConfig",
+    "EngineConfig",
+    "ExecutorConfig",
+    "ObservabilityConfig",
+    "StateConfig",
+    "WarpConfig",
+]
+
+
+@dataclass(frozen=True)
+class WarpConfig:
+    """Time-warp and combiner optimisations (paper Sec. VI).
+
+    Defaults match the paper's experiments: all combiners on, warp
+    suppression on with a 0.70 unit-message threshold.
+    """
+
+    #: Apply the program's combiner inline during the warp merge.
+    enable_combiner: bool = True
+    #: Fold identical-interval messages receiver-side before the warp.
+    enable_receiver_combiner: bool = True
+    #: Drop messages dominated by another under a selective combiner.
+    enable_dominated_elimination: bool = True
+    #: Skip warp for time-point execution on unit-message-heavy vertices.
+    enable_suppression: bool = True
+    #: Minimum unit-length message fraction that triggers suppression.
+    suppression_threshold: float = 0.70
+    #: Cap on time-point expansion (× live messages) before suppression
+    #: is abandoned for that vertex.
+    suppression_expansion_cap: int = 4
+
+
+@dataclass(frozen=True)
+class StateConfig:
+    """Partitioned-state handling."""
+
+    #: Merge adjacent equal-valued state partitions after updates.
+    coalesce: bool = True
+    #: Pre-split states on static vertex-property boundaries (paper
+    #: footnote 2: the *interval property vertex* computing unit).
+    prepartition_by_properties: bool = False
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """Execution backend selection.
+
+    ``kind`` is ``"serial"``, ``"parallel"``, an executor instance, or
+    ``None`` (the engine then reads ``REPRO_EXECUTOR`` at run time for
+    backwards compatibility; :meth:`EngineConfig.from_env` resolves it
+    eagerly instead).  ``fault_plan`` is a spec string (``kill:W@S`` /
+    ``seed:N``) or a :class:`~repro.runtime.faults.FaultPlan`; spec
+    strings are parsed into a fresh plan per run so one config can arm
+    many runs.
+    """
+
+    kind: Any = None
+    processes: Optional[int] = None
+    fault_plan: Any = None
+    #: True when :meth:`EngineConfig.from_env` filled ``kind`` from
+    #: ``REPRO_EXECUTOR`` rather than an explicit caller choice — an
+    #: env-forced parallel executor yields to an in-process tracer
+    #: instead of erroring (sweep-wide defaults must not break traced
+    #: tests), while an explicitly requested one still errors.
+    kind_from_env: bool = False
+
+    def __post_init__(self):
+        if isinstance(self.kind, str) and self.kind not in ("serial", "parallel"):
+            raise ValueError(
+                f"executor kind {self.kind!r} unknown (expected 'serial' or 'parallel')"
+            )
+        if self.processes is not None and self.processes < 1:
+            raise ValueError(
+                f"executor processes must be >= 1, got {self.processes}"
+            )
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Barrier-synchronized durability (`repro.runtime.checkpoint`).
+
+    ``every=None`` leaves checkpointing off (``from_env`` fills it from
+    ``REPRO_CHECKPOINT_EVERY``); ``every=0`` disables it *explicitly*,
+    overriding any environment default.
+    """
+
+    every: Optional[int] = None
+    dir: Optional[str] = None
+    #: Worker-process deaths absorbed by rollback before giving up.
+    max_restarts: int = 2
+
+    def __post_init__(self):
+        if self.every is not None and self.every < 0:
+            raise ValueError(f"checkpoint_every must be >= 0, got {self.every}")
+        if self.max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0, got {self.max_restarts}")
+
+
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """What the run reports, never what it computes.
+
+    ``observers`` are :class:`~repro.obs.observers.RunObserver` instances
+    receiving every structured :class:`~repro.obs.events.RunEvent`;
+    ``trace_path`` appends the events as JSON-lines; ``tracer`` is the
+    vertex-level :class:`~repro.core.tracing.ExecutionTracer` detail layer
+    (serial executor only).  None of this enters the checkpoint config
+    fingerprint — a traced run can resume an untraced run's checkpoint.
+    """
+
+    observers: tuple = ()
+    trace_path: Optional[str] = None
+    tracer: Any = None
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any structured-event consumer is configured."""
+        return bool(self.observers) or self.trace_path is not None
+
+    def merged_with(self, other: "ObservabilityConfig") -> "ObservabilityConfig":
+        """Combine two observability configs (``other`` wins on scalars)."""
+        return ObservabilityConfig(
+            observers=(*self.observers, *other.observers),
+            trace_path=other.trace_path or self.trace_path,
+            tracer=other.tracer if other.tracer is not None else self.tracer,
+        )
+
+    @classmethod
+    def coerce(cls, observe: Any) -> "ObservabilityConfig":
+        """Normalise the facade's ``observe=`` argument.
+
+        Accepts an :class:`ObservabilityConfig`, a single observer (any
+        object with ``on_event``), a trace-file path, or an iterable of
+        observers.
+        """
+        if observe is None:
+            return cls()
+        if isinstance(observe, cls):
+            return observe
+        if isinstance(observe, (str, os.PathLike)):
+            return cls(trace_path=os.fspath(observe))
+        if hasattr(observe, "on_event"):
+            return cls(observers=(observe,))
+        try:
+            observers = tuple(observe)
+        except TypeError:
+            raise TypeError(
+                f"cannot interpret observe={observe!r}: expected an "
+                "ObservabilityConfig, a RunObserver, a trace path, or an "
+                "iterable of observers"
+            ) from None
+        for item in observers:
+            if not hasattr(item, "on_event"):
+                raise TypeError(
+                    f"observer {item!r} has no on_event method"
+                )
+        return cls(observers=observers)
+
+
+# -- environment parsing (the one documented place) ----------------------------
+
+
+def _env_int(env: Mapping[str, str], name: str, *, minimum: int) -> Optional[int]:
+    raw = env.get(name)
+    if not raw:
+        return None
+    kind = "positive" if minimum > 0 else "non-negative"
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"invalid {name}={raw!r} (expected a {kind} integer)"
+        ) from None
+    if value < minimum:
+        raise ValueError(f"invalid {name}={raw!r} (expected a {kind} integer)")
+    return value
+
+
+def _env_executor_kind(env: Mapping[str, str]) -> Optional[str]:
+    raw = env.get("REPRO_EXECUTOR")
+    if not raw:
+        return None
+    if raw not in ("serial", "parallel"):
+        raise ValueError(
+            f"unknown executor in REPRO_EXECUTOR={raw!r} "
+            "(expected 'serial' or 'parallel')"
+        )
+    return raw
+
+
+def _env_fault_plan(env: Mapping[str, str]) -> Optional[str]:
+    raw = env.get("REPRO_FAULT_PLAN")
+    if not raw:
+        return None
+    from repro.runtime.faults import FaultPlan
+
+    try:
+        FaultPlan.parse(raw)  # eager validation only; parsed fresh per run
+    except ValueError as exc:
+        raise ValueError(f"invalid REPRO_FAULT_PLAN: {exc}") from None
+    return raw
+
+
+#: Legacy ``IntervalCentricEngine`` kwarg → (config group, field).  The one
+#: mapping table behind the deprecation shim, ``icm_options`` dicts, and the
+#: CLI flags.
+_OPTION_MAP: dict[str, tuple[Optional[str], str]] = {
+    "enable_warp_combiner": ("warp", "enable_combiner"),
+    "enable_receiver_combiner": ("warp", "enable_receiver_combiner"),
+    "enable_dominated_elimination": ("warp", "enable_dominated_elimination"),
+    "enable_warp_suppression": ("warp", "enable_suppression"),
+    "warp_suppression_threshold": ("warp", "suppression_threshold"),
+    "suppression_expansion_cap": ("warp", "suppression_expansion_cap"),
+    "coalesce_states": ("state", "coalesce"),
+    "prepartition_by_vertex_properties": ("state", "prepartition_by_properties"),
+    "executor": ("executor", "kind"),
+    "executor_processes": ("executor", "processes"),
+    "fault_plan": ("executor", "fault_plan"),
+    "checkpoint_every": ("checkpoint", "every"),
+    "checkpoint_dir": ("checkpoint", "dir"),
+    "max_restarts": ("checkpoint", "max_restarts"),
+    "tracer": ("observability", "tracer"),
+    "trace_path": ("observability", "trace_path"),
+    "max_supersteps": (None, "max_supersteps"),
+}
+
+_GROUP_CLASS_NAMES = {
+    "warp": "WarpConfig",
+    "state": "StateConfig",
+    "executor": "ExecutorConfig",
+    "checkpoint": "CheckpointConfig",
+    "observability": "ObservabilityConfig",
+}
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """The complete, immutable configuration of an interval-centric run."""
+
+    warp: WarpConfig = field(default_factory=WarpConfig)
+    state: StateConfig = field(default_factory=StateConfig)
+    executor: ExecutorConfig = field(default_factory=ExecutorConfig)
+    checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
+    observability: ObservabilityConfig = field(default_factory=ObservabilityConfig)
+    #: Safety valve; exceeding it raises ``RuntimeError``.
+    max_supersteps: int = 100_000
+
+    @classmethod
+    def from_env(cls, env: Optional[Mapping[str, str]] = None) -> "EngineConfig":
+        """Defaults plus every ``REPRO_*`` runtime variable, validated.
+
+        This is the *only* place the engine stack reads its environment
+        knobs; anything built here is explicit from then on.
+        """
+        if env is None:
+            env = os.environ
+        kind = _env_executor_kind(env)
+        return cls(
+            executor=ExecutorConfig(
+                kind=kind,
+                processes=_env_int(env, "REPRO_EXECUTOR_PROCESSES", minimum=1),
+                fault_plan=_env_fault_plan(env),
+                kind_from_env=kind is not None,
+            ),
+            checkpoint=CheckpointConfig(
+                every=_env_int(env, "REPRO_CHECKPOINT_EVERY", minimum=0),
+                dir=env.get("REPRO_CHECKPOINT_DIR") or None,
+            ),
+        )
+
+    def with_options(self, **options: Any) -> "EngineConfig":
+        """A copy with flat engine-option overrides applied.
+
+        ``options`` uses the flat legacy kwarg names (``executor``,
+        ``checkpoint_every``, ``enable_warp_combiner``, …) — the
+        programmatic twin of the CLI flags and of ``icm_options`` dicts.
+        Unknown names raise ``TypeError``.
+        """
+        if not options:
+            return self
+        group_overrides: dict[str, dict[str, Any]] = {}
+        top_overrides: dict[str, Any] = {}
+        for name, value in options.items():
+            target = _OPTION_MAP.get(name)
+            if target is None:
+                raise TypeError(f"unknown engine option {name!r}")
+            group, fld = target
+            if group is None:
+                top_overrides[fld] = value
+            else:
+                group_overrides.setdefault(group, {})[fld] = value
+        replacements: dict[str, Any] = dict(top_overrides)
+        for group, fields in group_overrides.items():
+            if group == "executor" and "kind" in fields:
+                # An explicit executor choice is never env-sourced.
+                fields.setdefault("kind_from_env", False)
+            replacements[group] = dataclasses.replace(
+                getattr(self, group), **fields
+            )
+        return dataclasses.replace(self, **replacements)
+
+    def with_legacy_kwargs(self, **kwargs: Any) -> "EngineConfig":
+        """The deprecation shim: legacy engine kwargs → config fields.
+
+        Emits one :class:`DeprecationWarning` per kwarg, naming the
+        replacement field, then applies :meth:`with_options`.
+        """
+        for name in kwargs:
+            target = _OPTION_MAP.get(name)
+            if target is None:
+                raise TypeError(
+                    f"IntervalCentricEngine got an unexpected keyword "
+                    f"argument {name!r}"
+                )
+            group, fld = target
+            if group is None:
+                replacement = f"EngineConfig({fld}=...)"
+            else:
+                replacement = (
+                    f"EngineConfig({group}={_GROUP_CLASS_NAMES[group]}({fld}=...))"
+                )
+            warnings.warn(
+                f"IntervalCentricEngine(..., {name}=...) is deprecated; "
+                f"pass config={replacement} instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        return self.with_options(**kwargs)
+
+    def describe(self) -> dict[str, Any]:
+        """A JSON-friendly view of the config (observers elided to names)."""
+        out = dataclasses.asdict(
+            dataclasses.replace(self, observability=ObservabilityConfig())
+        )
+        out["observability"] = {
+            "observers": [type(o).__name__ for o in self.observability.observers],
+            "trace_path": self.observability.trace_path,
+            "tracer": type(self.observability.tracer).__name__
+            if self.observability.tracer is not None
+            else None,
+        }
+        exec_kind = self.executor.kind
+        if exec_kind is not None and not isinstance(exec_kind, str):
+            out["executor"]["kind"] = type(exec_kind).__name__
+        return out

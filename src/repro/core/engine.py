@@ -38,10 +38,13 @@ from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional
 
+from repro.obs.events import EventStream
+from repro.obs.observers import JsonlTraceWriter
 from repro.runtime.cluster import SimulatedCluster
 from repro.runtime.metrics import RunMetrics
 
 from .combiner import coalesce_messages
+from .config import EngineConfig
 from .context import EdgeContext, MasterContext, VertexContext
 from .interval import Interval, coalesce
 from .messages import IntervalMessage, unit_message_fraction
@@ -436,29 +439,6 @@ class VertexProcessor:
         return cost
 
 
-def _resolve_checkpoint_every(value: Optional[int]) -> Optional[int]:
-    """Validate the checkpoint cadence, falling back to the environment."""
-    if value is None:
-        env = os.environ.get("REPRO_CHECKPOINT_EVERY")
-        if not env:
-            return None
-        try:
-            value = int(env)
-        except ValueError:
-            raise ValueError(
-                f"invalid REPRO_CHECKPOINT_EVERY={env!r} "
-                "(expected a non-negative integer)"
-            ) from None
-        if value < 0:
-            raise ValueError(
-                f"invalid REPRO_CHECKPOINT_EVERY={env!r} "
-                "(expected a non-negative integer)"
-            )
-    elif value < 0:
-        raise ValueError(f"checkpoint_every must be >= 0, got {value}")
-    return value or None  # 0 disables
-
-
 class IntervalCentricEngine:
     """Run an :class:`IntervalProgram` over a temporal graph.
 
@@ -470,40 +450,18 @@ class IntervalCentricEngine:
         User logic.
     cluster:
         Simulated cluster; a fresh 8-worker cluster is created by default.
-    enable_warp_combiner / enable_receiver_combiner:
-        Apply the program's combiner inline in warp / receiver-side on
-        identical intervals (paper Sec. VI; both default on, as in the
-        paper's experiments).
-    enable_warp_suppression / warp_suppression_threshold:
-        Skip warp for a vertex when at least this fraction of its inbound
-        messages are unit-length, degenerating to time-point execution.
-    coalesce_states:
-        Merge adjacent equal-valued state partitions after updates.
-    max_supersteps:
-        Safety valve; exceeding it raises ``RuntimeError``.
-    executor:
-        ``"serial"`` (default), ``"parallel"``, or an executor instance;
-        ``None`` reads the ``REPRO_EXECUTOR`` environment variable.  The
-        parallel executor runs each simulated worker's partition in a
-        shared-nothing worker process — results are identical either way.
-    executor_processes:
-        Worker-process count for the parallel executor (``None``: the
-        ``REPRO_EXECUTOR_PROCESSES`` environment variable, else one per
-        available core, capped at ``cluster.num_workers``).
-    checkpoint_every:
-        Write a barrier-synchronized checkpoint every N supersteps
-        (`repro.runtime.checkpoint`).  ``None`` reads the
-        ``REPRO_CHECKPOINT_EVERY`` environment variable; 0/unset disables
-        checkpointing (the default).
-    checkpoint_dir:
-        Where checkpoints live.  ``None`` reads ``REPRO_CHECKPOINT_DIR``;
-        if checkpointing is on and no directory is given anywhere, a
-        temporary directory is used and removed when the run finishes
-        (checkpoints then only serve in-run crash recovery).
-    max_restarts:
-        How many worker-process deaths :meth:`run` absorbs by rolling back
-        to the latest checkpoint (or superstep 1 when none exists) before
-        giving up with ``UnrecoverableRunError``.
+    config:
+        An :class:`~repro.core.config.EngineConfig` grouping every engine
+        knob — warp/combiner optimisations, state handling, executor
+        selection, checkpointing, observability.  ``None`` uses
+        :meth:`EngineConfig.from_env` (defaults plus the documented
+        ``REPRO_*`` environment variables).  Prefer building engines
+        through `repro.api`.
+
+    The individual keyword arguments of the pre-config constructor
+    (``enable_warp_combiner``, ``executor``, ``checkpoint_every``, …)
+    are still accepted, mapped onto the config with a
+    ``DeprecationWarning`` naming the replacement field.
     """
 
     def __init__(
@@ -513,56 +471,54 @@ class IntervalCentricEngine:
         *,
         cluster: Optional[SimulatedCluster] = None,
         graph_name: str = "",
-        enable_warp_combiner: bool = True,
-        enable_receiver_combiner: bool = True,
-        enable_dominated_elimination: bool = True,
-        enable_warp_suppression: bool = True,
-        warp_suppression_threshold: float = 0.70,
-        suppression_expansion_cap: int = 4,
-        coalesce_states: bool = True,
-        prepartition_by_vertex_properties: bool = False,
-        max_supersteps: int = 100_000,
-        tracer=None,
-        executor: Any = None,
-        executor_processes: Optional[int] = None,
-        checkpoint_every: Optional[int] = None,
-        checkpoint_dir: Optional[str] = None,
-        max_restarts: int = 2,
+        config: Optional[EngineConfig] = None,
+        **legacy_kwargs: Any,
     ):
+        if legacy_kwargs:
+            base = config if config is not None else EngineConfig.from_env()
+            config = base.with_legacy_kwargs(**legacy_kwargs)
+        elif config is None:
+            config = EngineConfig.from_env()
+        self.config = config
+
         self.graph = graph
         self.program = program
         self.cluster = cluster or SimulatedCluster()
         self.graph_name = graph_name
-        self.enable_warp_combiner = enable_warp_combiner
-        self.enable_receiver_combiner = enable_receiver_combiner
-        self.enable_dominated_elimination = enable_dominated_elimination
-        self.enable_warp_suppression = enable_warp_suppression
-        self.warp_suppression_threshold = warp_suppression_threshold
-        self.suppression_expansion_cap = suppression_expansion_cap
-        self.coalesce_states = coalesce_states
+        # Mirror attributes: the flat names the rest of the stack (and the
+        # checkpoint config fingerprint — its payload must stay byte-stable
+        # across this refactor) reads.
+        self.enable_warp_combiner = config.warp.enable_combiner
+        self.enable_receiver_combiner = config.warp.enable_receiver_combiner
+        self.enable_dominated_elimination = config.warp.enable_dominated_elimination
+        self.enable_warp_suppression = config.warp.enable_suppression
+        self.warp_suppression_threshold = config.warp.suppression_threshold
+        self.suppression_expansion_cap = config.warp.suppression_expansion_cap
+        self.coalesce_states = config.state.coalesce
         #: Paper footnote 2: states may be pre-partitioned on the
         #: sub-intervals of the vertex's static properties, making the
         #: computing unit an *interval property vertex*.  Off by default
         #: (properties are optional and coalescing undoes unused splits).
-        self.prepartition_by_vertex_properties = prepartition_by_vertex_properties
-        self.max_supersteps = max_supersteps
+        self.prepartition_by_vertex_properties = config.state.prepartition_by_properties
+        self.max_supersteps = config.max_supersteps
         #: Optional ExecutionTracer recording compute/scatter/send events.
-        self.tracer = tracer
-        self.executor = executor
-        self.executor_processes = executor_processes
-        self.checkpoint_every = _resolve_checkpoint_every(checkpoint_every)
-        self.checkpoint_dir = (
-            checkpoint_dir
-            if checkpoint_dir is not None
-            else os.environ.get("REPRO_CHECKPOINT_DIR") or None
-        )
-        self.max_restarts = max_restarts
+        self.tracer = config.observability.tracer
+        self.executor = config.executor.kind
+        self.executor_processes = config.executor.processes
+        self.checkpoint_every = config.checkpoint.every or None  # 0 disables
+        self.checkpoint_dir = config.checkpoint.dir
+        self.max_restarts = config.checkpoint.max_restarts
 
         self.superstep = 0
         self._aggregates: dict[str, Any] = {}
         self._next_aggregates: dict[str, Any] = {}
         self._aggregator_fns = program.aggregators()
         self._metrics: Optional[RunMetrics] = None
+        #: Structured-event consumers; the stream itself is built per run().
+        self._observers = list(config.observability.observers)
+        if config.observability.trace_path is not None:
+            self._observers.append(JsonlTraceWriter(config.observability.trace_path))
+        self._events: Optional[EventStream] = None
         #: vid → canonical global vertex order (graph enumeration order);
         #: both executors process actives and merge messages in this order.
         self._seq: dict[Any, int] = {}
@@ -570,13 +526,8 @@ class IntervalCentricEngine:
             graph,
             program,
             self.cluster.compute_model,
-            enable_warp_combiner=enable_warp_combiner,
-            enable_receiver_combiner=enable_receiver_combiner,
-            enable_dominated_elimination=enable_dominated_elimination,
-            enable_warp_suppression=enable_warp_suppression,
-            warp_suppression_threshold=warp_suppression_threshold,
-            suppression_expansion_cap=suppression_expansion_cap,
-            tracer=tracer,
+            tracer=self.tracer,
+            **self.processor_args(),
         )
 
     def processor_args(self) -> dict[str, Any]:
@@ -666,7 +617,11 @@ class IntervalCentricEngine:
         from repro.runtime.metrics import RecoveryMetrics
 
         executor = resolve_executor(
-            self.executor, self.executor_processes, tracer=self.tracer
+            self.executor,
+            self.executor_processes,
+            tracer=self.tracer,
+            fault_plan=self.config.executor.fault_plan,
+            from_env=self.config.executor.kind_from_env,
         )
         rescatter = rescatter or {}
         if resume_from is not None and warm_states is not None:
@@ -705,6 +660,23 @@ class IntervalCentricEngine:
             # must not be mistaken for this run's rollback points.
             clear_checkpoints(ckpt_dir)
 
+        # The event stream restarts its sequence for every run(); it keeps
+        # counting across recovery attempts, so a replayed superstep appears
+        # again in the trace (logically identical, new wall facts).
+        events = EventStream(self._observers) if self._observers else None
+        self._events = events
+        if events is not None:
+            events.emit(
+                "run_start",
+                data={
+                    "algorithm": self.program.name,
+                    "graph": self.graph_name,
+                    "platform": "GRAPHITE",
+                    "resumed_from": resume_ckpt.superstep if resume_ckpt else None,
+                },
+                wall={"executor": executor.name},
+            )
+
         recovery = RecoveryMetrics()
         start_ckpt = resume_ckpt
         try:
@@ -723,6 +695,13 @@ class IntervalCentricEngine:
                 except WorkerDiedError as died:
                     executor.abort()
                     recovery.restarts += 1
+                    if events is not None:
+                        events.emit(
+                            "worker_death",
+                            superstep=died.superstep,
+                            data={"worker": died.worker},
+                            wall={"exitcode": died.exitcode},
+                        )
                     if recovery.restarts > self.max_restarts:
                         raise UnrecoverableRunError(
                             f"worker failure persisted after {self.max_restarts} "
@@ -738,14 +717,39 @@ class IntervalCentricEngine:
                         # resume point, when this run itself was a resume).
                         start_ckpt = resume_ckpt
                         rollback_to = resume_ckpt.superstep if resume_ckpt else 0
-                    recovery.replayed_supersteps += max(
-                        0, died.superstep - rollback_to
-                    )
+                    replayed = max(0, died.superstep - rollback_to)
+                    recovery.replayed_supersteps += replayed
                     recovery.recovery_seconds += time.perf_counter() - t0
+                    if events is not None:
+                        events.emit(
+                            "rollback",
+                            superstep=died.superstep,
+                            data={
+                                "to_superstep": rollback_to,
+                                "replayed_supersteps": replayed,
+                            },
+                        )
         finally:
             if own_dir is not None:
                 shutil.rmtree(own_dir, ignore_errors=True)
+            if events is not None:
+                events.close()
         result.metrics.recovery = recovery
+        if events is not None:
+            metrics = result.metrics
+            events.emit(
+                "run_end",
+                data={
+                    "supersteps": metrics.supersteps,
+                    "compute_calls": metrics.compute_calls,
+                    "scatter_calls": metrics.scatter_calls,
+                    "messages_sent": metrics.messages_sent,
+                    "message_bytes": metrics.message_bytes,
+                    "modeled_makespan_s": metrics.modeled_makespan,
+                },
+                wall={"makespan_s": metrics.makespan},
+            )
+            events.close()
         return result
 
     def _run_attempt(
@@ -817,6 +821,7 @@ class IntervalCentricEngine:
                 # here, once, executor-independently.
                 metrics.combiner_reductions += start_ckpt.carried_reductions
             t_run = time.perf_counter()
+            events = self._events
             self.superstep = start_superstep
             while True:
                 if self.superstep > self.max_supersteps:
@@ -828,8 +833,23 @@ class IntervalCentricEngine:
                 if fixed is None and self.superstep > 1 and not executor.has_pending():
                     break
 
+                if events is not None:
+                    before = (
+                        metrics.compute_calls,
+                        metrics.scatter_calls,
+                        metrics.warp_calls,
+                        metrics.warp_suppressed_vertices,
+                        metrics.combiner_reductions,
+                        metrics.messages_sent,
+                        metrics.message_bytes,
+                        metrics.local_messages,
+                        metrics.remote_messages,
+                    )
+                    events.emit("superstep_start", superstep=self.superstep)
                 num_active = executor.run_superstep(self.superstep, metrics)
                 metrics.supersteps += 1
+                if events is not None:
+                    self._emit_superstep_events(metrics, before, num_active)
 
                 self._aggregates = self._reduce_aggregates()
                 master = MasterContext(self.superstep, dict(self._aggregates), num_active)
@@ -854,6 +874,16 @@ class IntervalCentricEngine:
                     recovery.checkpoints_written += 1
                     recovery.checkpoint_bytes += info.bytes_written
                     recovery.checkpoint_seconds += info.seconds
+                    if events is not None:
+                        events.emit(
+                            "checkpoint_write",
+                            superstep=self.superstep,
+                            wall={
+                                "path": str(info.path),
+                                "bytes": info.bytes_written,
+                                "seconds": info.seconds,
+                            },
+                        )
                 self.superstep += 1
 
             metrics.makespan += time.perf_counter() - t_run
@@ -864,6 +894,63 @@ class IntervalCentricEngine:
             raise
         return IcmResult(
             states=final_states, metrics=metrics, aggregates=dict(self._aggregates)
+        )
+
+    def _emit_superstep_events(self, metrics, before, num_active: int) -> None:
+        """Emit the phase events for the superstep that just ran.
+
+        Every ``data`` value is a metric delta or a modeled per-superstep
+        quantity — exactly the numbers the executor-equivalence tests pin
+        down — so the logical event sequence is identical under both
+        executors by construction.  Wall-clock facts go in ``wall``.
+        """
+        events = self._events
+        superstep = self.superstep
+        step = metrics.supersteps_detail[-1]
+        events.emit(
+            "compute_phase",
+            superstep=superstep,
+            data={
+                "compute_calls": metrics.compute_calls - before[0],
+                "warp_calls": metrics.warp_calls - before[2],
+                "warp_suppressed_vertices": metrics.warp_suppressed_vertices
+                - before[3],
+                "combiner_reductions": metrics.combiner_reductions - before[4],
+            },
+            wall={
+                "compute_s": step.compute_time,
+                "workers": len(step.worker_wall_times),
+            },
+        )
+        events.emit(
+            "scatter_phase",
+            superstep=superstep,
+            data={
+                "scatter_calls": metrics.scatter_calls - before[1],
+                "messages": metrics.messages_sent - before[5],
+                "message_bytes": metrics.message_bytes - before[6],
+            },
+        )
+        events.emit(
+            "barrier_exchange",
+            superstep=superstep,
+            data={
+                "local_messages": metrics.local_messages - before[7],
+                "remote_messages": metrics.remote_messages - before[8],
+            },
+            wall={
+                "exchange_s": step.exchange_time,
+                "exchange_bytes": step.exchange_bytes,
+            },
+        )
+        events.emit(
+            "superstep_end",
+            superstep=superstep,
+            data={
+                "active": num_active,
+                "modeled_compute_s": step.max_worker_compute_time,
+                "modeled_messaging_s": step.messaging_time,
+            },
         )
 
     # -- internals ---------------------------------------------------------

@@ -5,8 +5,9 @@ invocation, scatter call and message send, then render a textual trace in
 the style of the paper's Fig. 2 — invaluable when debugging a temporal
 algorithm whose states repartition in non-obvious ways.
 
+>>> from repro import api
 >>> tracer = ExecutionTracer()
->>> engine = IntervalCentricEngine(graph, program, tracer=tracer)
+>>> engine = api.build_engine(graph, program, options={"tracer": tracer})
 >>> result = engine.run()
 >>> print(tracer.render())              # doctest: +SKIP
 """

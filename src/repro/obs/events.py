@@ -1,0 +1,182 @@
+"""Structured run events: the typed, schema-versioned trace stream.
+
+A run emits a sequence of :class:`RunEvent` records — superstep phases,
+barrier exchanges, checkpoint writes, worker deaths, rollbacks — the
+structured replacement for scraping logs or the vertex-level
+``ExecutionTracer``.  Each record is a flat JSON-friendly dict:
+
+``v``
+    Schema version (:data:`EVENT_SCHEMA_VERSION`).  Bumped only on
+    incompatible layout changes; readers must check it.
+``seq``
+    Monotone sequence number within the run, 0-based.
+``type``
+    One of :data:`EVENT_TYPES`.
+``superstep``
+    The 1-based superstep the event belongs to, or ``None`` for
+    run-level events (``run_start``/``run_end``).
+``data``
+    The event's **logical** payload: deterministic, model-level facts
+    (call counts, message counts, modeled times).  Serial and parallel
+    executions of the same run produce identical ``data``.
+``wall``
+    Measured/environmental facts — wall-clock durations, file paths,
+    process exit codes, executor names.  Excluded when diffing traces
+    for logical equivalence (:func:`logical_view`).
+
+The split between ``data`` and ``wall`` is the schema's central design
+decision: it is what lets CI diff a serial trace against a parallel one
+and what keeps replayed supersteps after fault recovery honest (the
+replay re-emits the same logical events; only ``wall`` differs).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "EVENT_TYPES",
+    "EventStream",
+    "logical_view",
+    "validate_event",
+]
+
+#: Current trace-record schema version.
+EVENT_SCHEMA_VERSION = 1
+
+#: Event type → required ``data`` keys.  ``superstep`` must be ``None``
+#: for the types in :data:`RUN_LEVEL_TYPES` and a positive int otherwise.
+EVENT_TYPES: Dict[str, Tuple[str, ...]] = {
+    # run lifecycle
+    "run_start": ("algorithm", "graph", "platform", "resumed_from"),
+    "run_end": ("supersteps", "compute_calls", "scatter_calls",
+                "messages_sent", "message_bytes", "modeled_makespan_s"),
+    # superstep phases
+    "superstep_start": (),
+    "compute_phase": ("compute_calls", "warp_calls",
+                      "warp_suppressed_vertices", "combiner_reductions"),
+    "scatter_phase": ("scatter_calls", "messages", "message_bytes"),
+    "barrier_exchange": ("local_messages", "remote_messages"),
+    "superstep_end": ("active", "modeled_compute_s", "modeled_messaging_s"),
+    # durability & recovery
+    "checkpoint_write": (),
+    "worker_death": ("worker",),
+    "rollback": ("to_superstep", "replayed_supersteps"),
+}
+
+#: Types whose ``superstep`` is ``None`` (events about the whole run).
+RUN_LEVEL_TYPES = frozenset({"run_start", "run_end"})
+
+_RECORD_KEYS = frozenset({"v", "seq", "type", "superstep", "data", "wall"})
+
+
+def validate_event(record: Any) -> None:
+    """Raise ``ValueError`` unless ``record`` is a valid v1 trace record."""
+    if not isinstance(record, dict):
+        raise ValueError(f"trace record must be a dict, got {type(record).__name__}")
+    keys = set(record)
+    if keys != _RECORD_KEYS:
+        missing = sorted(_RECORD_KEYS - keys)
+        extra = sorted(keys - _RECORD_KEYS)
+        raise ValueError(
+            f"trace record keys mismatch (missing {missing}, extra {extra})"
+        )
+    if record["v"] != EVENT_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported trace schema version {record['v']!r} "
+            f"(this reader speaks v{EVENT_SCHEMA_VERSION})"
+        )
+    if not isinstance(record["seq"], int) or record["seq"] < 0:
+        raise ValueError(f"bad seq {record['seq']!r}")
+    etype = record["type"]
+    if etype not in EVENT_TYPES:
+        raise ValueError(f"unknown event type {etype!r}")
+    superstep = record["superstep"]
+    if etype in RUN_LEVEL_TYPES:
+        if superstep is not None:
+            raise ValueError(f"{etype} must have superstep=None, got {superstep!r}")
+    else:
+        if not isinstance(superstep, int) or superstep < 1:
+            raise ValueError(
+                f"{etype} needs a positive superstep, got {superstep!r}"
+            )
+    data = record["data"]
+    if not isinstance(data, dict):
+        raise ValueError(f"data must be a dict, got {type(data).__name__}")
+    required = EVENT_TYPES[etype]
+    if set(data) != set(required):
+        raise ValueError(
+            f"{etype} data keys {sorted(data)} != schema {sorted(required)}"
+        )
+    if not isinstance(record["wall"], dict):
+        raise ValueError(f"wall must be a dict, got {type(record['wall']).__name__}")
+
+
+def logical_view(record: Dict[str, Any]) -> Tuple[str, Optional[int], Tuple]:
+    """The deterministic projection of a record, for cross-executor diffs.
+
+    Drops ``seq`` (identical anyway when sequences match) and all of
+    ``wall``; ``data`` is flattened to a sorted item tuple so the result
+    is hashable and order-insensitive to JSON key order.
+    """
+    return (
+        record["type"],
+        record["superstep"],
+        tuple(sorted(record["data"].items())),
+    )
+
+
+class EventStream:
+    """Emission side of the event stream: builds, validates and fans out.
+
+    Owned by the engine; ``None`` when no observers are configured so the
+    hot path pays a single attribute check per potential event.  ``seq``
+    restarts at 0 for each ``run()`` and keeps counting across fault
+    recovery attempts within that run (replays re-emit their supersteps).
+    """
+
+    def __init__(self, observers):
+        self._observers = list(observers)
+        self._seq = 0
+
+    def emit(
+        self,
+        type: str,
+        *,
+        superstep: Optional[int] = None,
+        data: Optional[Dict[str, Any]] = None,
+        wall: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        record = {
+            "v": EVENT_SCHEMA_VERSION,
+            "seq": self._seq,
+            "type": type,
+            "superstep": superstep,
+            "data": data if data is not None else {},
+            "wall": wall if wall is not None else {},
+        }
+        validate_event(record)
+        self._seq += 1
+        for observer in self._observers:
+            observer.on_event(record)
+        return record
+
+    def close(self) -> None:
+        for observer in self._observers:
+            close: Optional[Callable[[], None]] = getattr(observer, "close", None)
+            if close is not None:
+                close()
+
+
+def encode_event(record: Dict[str, Any]) -> str:
+    """One compact JSON line (no trailing newline) for a record."""
+    return json.dumps(record, separators=(",", ":"), sort_keys=True)
+
+
+def decode_event(line: str) -> Dict[str, Any]:
+    """Parse and validate one JSON-lines trace record."""
+    record = json.loads(line)
+    validate_event(record)
+    return record

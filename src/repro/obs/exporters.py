@@ -1,0 +1,253 @@
+"""Exporters: every rendering of run metrics and traces in one place.
+
+Three output formats over the same data:
+
+* :func:`render_summary` — the human metric table (used by the CLI, by
+  ``repro report`` and by benchmark logs; formerly ``cli._print_metrics``);
+* :func:`prometheus_text` — Prometheus text exposition of a
+  :class:`~repro.runtime.metrics.RunMetrics`, names/types/help derived
+  from the metric registry;
+* :func:`render_report` / :func:`render_timeline` — Table-4-style
+  per-algorithm breakdown and a per-superstep phase timeline, regenerated
+  from a saved JSON-lines trace rather than a live run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.events import decode_event, logical_view
+from repro.obs.registry import RECOVERY_METRICS, RUN_METRICS
+
+__all__ = [
+    "logical_sequence",
+    "prometheus_text",
+    "read_trace",
+    "render_report",
+    "render_summary",
+    "render_timeline",
+    "split_runs",
+]
+
+
+# -- metrics ------------------------------------------------------------------
+
+
+def render_summary(metrics) -> str:
+    """The standard human-readable metric table (one run).
+
+    Layout matches the historic ``cli._print_metrics`` exactly for the
+    core rows; durability rows appear only when checkpointing or
+    recovery actually happened.
+    """
+    rows = [
+        ("platform", metrics.platform),
+        ("algorithm", metrics.algorithm),
+        ("supersteps", metrics.supersteps),
+        ("compute calls", metrics.compute_calls),
+        ("scatter calls", metrics.scatter_calls),
+        ("messages", metrics.messages_sent),
+        ("system messages", metrics.system_messages),
+        ("message bytes", metrics.message_bytes),
+        ("local / remote", f"{metrics.local_messages} / {metrics.remote_messages}"),
+        ("modeled makespan", f"{metrics.modeled_makespan * 1e3:.3f} ms"),
+        ("  compute+", f"{metrics.modeled_compute_time * 1e3:.3f} ms"),
+        ("  messaging", f"{metrics.messaging_time * 1e3:.3f} ms"),
+        ("  barriers", f"{metrics.barrier_time * 1e3:.3f} ms"),
+        ("wall time", f"{metrics.makespan * 1e3:.3f} ms"),
+    ]
+    recovery = getattr(metrics, "recovery", None)
+    if recovery is not None and (
+        recovery.checkpoints_written or recovery.restarts
+    ):
+        rows.append(("checkpoints",
+                     f"{recovery.checkpoints_written} "
+                     f"({recovery.checkpoint_bytes} bytes, "
+                     f"{recovery.checkpoint_seconds * 1e3:.3f} ms)"))
+        rows.append(("restarts",
+                     f"{recovery.restarts} "
+                     f"({recovery.replayed_supersteps} supersteps replayed)"))
+    width = max(len(label) for label, _ in rows)
+    return "\n".join(f"  {label.ljust(width)}  {value}" for label, value in rows)
+
+
+def _prom_name(spec) -> str:
+    name = f"repro_{spec.name}"
+    if spec.kind == "time" and not name.endswith("_seconds"):
+        name += "_seconds"
+    if spec.kind == "counter":
+        name += "_total"
+    return name
+
+
+def _prom_labels(pairs: Iterable[Tuple[str, str]]) -> str:
+    inner = ",".join(
+        '%s="%s"' % (k, str(v).replace("\\", "\\\\").replace('"', '\\"'))
+        for k, v in pairs if v
+    )
+    return "{%s}" % inner if inner else ""
+
+
+def prometheus_text(metrics) -> str:
+    """Prometheus text-format exposition of one run's metrics.
+
+    Counter/gauge typing, units and help strings all come from the
+    metric registry, so this stays in lockstep with ``RunMetrics``.
+    """
+    labels = _prom_labels(
+        (
+            ("platform", metrics.platform),
+            ("algorithm", metrics.algorithm),
+            ("graph", metrics.graph),
+            ("executor", metrics.executor),
+        )
+    )
+    lines: List[str] = []
+
+    def emit(registry, source):
+        for spec in registry:
+            name = _prom_name(spec)
+            prom_type = "counter" if spec.kind == "counter" else "gauge"
+            value = getattr(source, spec.name)
+            lines.append(f"# HELP {name} {spec.help}")
+            lines.append(f"# TYPE {name} {prom_type}")
+            if spec.value == "int":
+                lines.append(f"{name}{labels} {value}")
+            else:
+                lines.append(f"{name}{labels} {value!r}")
+
+    emit(RUN_METRICS, metrics)
+    recovery = getattr(metrics, "recovery", None)
+    if recovery is not None:
+        emit(RECOVERY_METRICS, recovery)
+    return "\n".join(lines) + "\n"
+
+
+# -- traces -------------------------------------------------------------------
+
+
+def read_trace(path) -> List[Dict[str, Any]]:
+    """Load and validate every record of a JSON-lines trace file."""
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(decode_event(line))
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: {exc}") from None
+    return records
+
+
+def logical_sequence(records) -> List[Tuple[str, Optional[int], Tuple]]:
+    """The trace's deterministic projection — what CI diffs across
+    executors (wall-clock facts stripped)."""
+    return [logical_view(r) for r in records]
+
+
+def split_runs(records) -> List[List[Dict[str, Any]]]:
+    """Split a (possibly multi-run) trace on ``run_start`` markers."""
+    runs: List[List[Dict[str, Any]]] = []
+    for record in records:
+        if record["type"] == "run_start" or not runs:
+            runs.append([])
+        runs[-1].append(record)
+    return runs
+
+
+def render_timeline(records) -> str:
+    """A per-superstep phase table for one run's records.
+
+    After fault recovery a superstep may appear twice (the replay
+    re-emits it); the latest emission wins, matching the state that
+    actually survived.
+    """
+    steps: Dict[int, Dict[str, Any]] = {}
+    for record in records:
+        superstep = record["superstep"]
+        if superstep is None:
+            continue
+        row = steps.setdefault(superstep, {})
+        data = record["data"]
+        if record["type"] == "compute_phase":
+            row["compute"] = data["compute_calls"]
+            row["warp"] = data["warp_calls"]
+        elif record["type"] == "scatter_phase":
+            row["scatter"] = data["scatter_calls"]
+            row["messages"] = data["messages"]
+            row["bytes"] = data["message_bytes"]
+        elif record["type"] == "superstep_end":
+            row["active"] = data["active"]
+            row["compute_ms"] = data["modeled_compute_s"] * 1e3
+            row["messaging_ms"] = data["modeled_messaging_s"] * 1e3
+        elif record["type"] == "checkpoint_write":
+            row["ckpt"] = True
+    header = (f"  {'step':>4s} {'compute':>8s} {'warp':>6s} {'scatter':>8s} "
+              f"{'messages':>9s} {'bytes':>8s} {'active':>7s} "
+              f"{'compute':>10s} {'messaging':>10s}")
+    lines = [header]
+    for superstep in sorted(steps):
+        row = steps[superstep]
+        mark = "*" if row.get("ckpt") else " "
+        lines.append(
+            f"  {superstep:4d} {row.get('compute', 0):8d} "
+            f"{row.get('warp', 0):6d} {row.get('scatter', 0):8d} "
+            f"{row.get('messages', 0):9d} {row.get('bytes', 0):8d} "
+            f"{row.get('active', 0):7d} "
+            f"{row.get('compute_ms', 0.0):7.3f} ms "
+            f"{row.get('messaging_ms', 0.0):7.3f} ms{mark}"
+        )
+    if len(lines) > 1 and any(steps[s].get("ckpt") for s in steps):
+        lines.append("  (* = checkpoint written at this superstep)")
+    return "\n".join(lines)
+
+
+def render_report(records) -> str:
+    """A Table-4-style per-algorithm breakdown regenerated from a trace.
+
+    Runs sharing (platform, algorithm, graph) — e.g. SCC's peeling
+    rounds appended to one trace file — are aggregated into one row.
+    """
+    groups: Dict[Tuple[str, str, str], Dict[str, Any]] = {}
+    order: List[Tuple[str, str, str]] = []
+    for run in split_runs(records):
+        start = next((r for r in run if r["type"] == "run_start"), None)
+        end = next((r for r in run if r["type"] == "run_end"), None)
+        if start is None or end is None:
+            continue
+        key = (
+            start["data"]["platform"],
+            start["data"]["algorithm"],
+            start["data"]["graph"],
+        )
+        if key not in groups:
+            groups[key] = {
+                "runs": 0, "supersteps": 0, "compute_calls": 0,
+                "scatter_calls": 0, "messages_sent": 0, "message_bytes": 0,
+                "modeled_makespan_s": 0.0,
+            }
+            order.append(key)
+        agg = groups[key]
+        agg["runs"] += 1
+        for field in ("supersteps", "compute_calls", "scatter_calls",
+                      "messages_sent", "message_bytes", "modeled_makespan_s"):
+            agg[field] += end["data"][field]
+    header = (f"  {'platform':10s} {'algorithm':14s} {'graph':10s} "
+              f"{'runs':>5s} {'steps':>6s} {'calls':>9s} {'messages':>9s} "
+              f"{'bytes':>9s} {'makespan':>12s}")
+    lines = [header]
+    for key in order:
+        platform, algorithm, graph = key
+        agg = groups[key]
+        lines.append(
+            f"  {platform:10s} {algorithm:14s} {graph:10s} "
+            f"{agg['runs']:5d} {agg['supersteps']:6d} "
+            f"{agg['compute_calls']:9d} {agg['messages_sent']:9d} "
+            f"{agg['message_bytes']:9d} "
+            f"{agg['modeled_makespan_s'] * 1e3:9.3f} ms"
+        )
+    if len(lines) == 1:
+        lines.append("  (no completed runs in trace)")
+    return "\n".join(lines)

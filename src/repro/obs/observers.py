@@ -1,0 +1,72 @@
+"""Run observers: consumers of the structured event stream.
+
+An observer is anything with ``on_event(record)`` (and optionally
+``close()``); the two concrete ones here cover the common cases —
+in-memory capture for tests/analysis and an append-only JSON-lines
+trace file for ``repro run --trace-out`` / ``repro report``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.events import encode_event, logical_view
+
+__all__ = ["InMemoryEvents", "JsonlTraceWriter", "RunObserver"]
+
+
+class RunObserver:
+    """Base class (duck-typed — subclassing is optional)."""
+
+    def on_event(self, record: Dict[str, Any]) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush/release resources; the stream calls this at run end."""
+
+
+class InMemoryEvents(RunObserver):
+    """Collects every record in a list; handy for tests and notebooks."""
+
+    def __init__(self):
+        self.records: List[Dict[str, Any]] = []
+
+    def on_event(self, record: Dict[str, Any]) -> None:
+        self.records.append(record)
+
+    def logical(self) -> List[Tuple[str, Optional[int], Tuple]]:
+        """The deterministic event sequence (type, superstep, data items)."""
+        return [logical_view(r) for r in self.records]
+
+    def of_type(self, type: str) -> List[Dict[str, Any]]:
+        return [r for r in self.records if r["type"] == type]
+
+
+class JsonlTraceWriter(RunObserver):
+    """Appends records to a JSON-lines trace file.
+
+    Opens lazily on the first event and **appends**: engines that share a
+    config (SCC's peeling rounds, streaming refreshes) accumulate their
+    runs into one combined trace, which ``repro report`` then splits back
+    into runs on ``run_start`` markers.  ``close()`` is safe to call many
+    times; a later event simply reopens the file.
+    """
+
+    def __init__(self, path):
+        self.path = os.fspath(path)
+        self._fh = None
+
+    def on_event(self, record: Dict[str, Any]) -> None:
+        if self._fh is None:
+            parent = os.path.dirname(self.path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        self._fh.write(encode_event(record))
+        self._fh.write("\n")
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None

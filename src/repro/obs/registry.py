@@ -1,0 +1,182 @@
+"""The metric registry: one declarative schema for every run metric.
+
+Before this module existed the metric name lists lived in three places —
+``RunMetrics``'s dataclass fields, the checkpoint writer's
+``_METRIC_COUNTERS``/``_METRIC_FLOATS`` snapshot tuples, and the parallel
+executor's ``_COUNT_FIELDS`` worker-fold tuple — and nothing tied them
+together.  :data:`RUN_METRICS` is now the single authority: the dataclass
+stays the hot-path representation (plain attribute increments, no dict
+indirection), while the checkpoint and executor derive their tuples from
+the registry, and the exporters derive names, units and help strings.
+
+This module deliberately imports **nothing** from the rest of ``repro``
+(field names are strings, validated lazily by a test) so it can sit below
+``repro.runtime`` in the import graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+__all__ = ["MetricRegistry", "MetricSpec", "RECOVERY_METRICS", "RUN_METRICS"]
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One metric's schema entry.
+
+    ``value`` is the Python representation (``"int"``/``"float"``);
+    ``kind`` the semantic class (``counter`` monotone within a run,
+    ``gauge`` a high-water mark, ``time`` a duration); ``modeled`` marks
+    quantities produced by the deterministic cluster model — bit-identical
+    across executors — as opposed to measured wall-clock facts;
+    ``worker_field`` marks counters folded from parallel worker reports
+    at the barrier.
+    """
+
+    name: str
+    value: str  # "int" | "float"
+    kind: str  # "counter" | "gauge" | "time"
+    unit: str
+    help: str
+    modeled: bool = True
+    worker_field: bool = False
+
+    def __post_init__(self):
+        if self.value not in ("int", "float"):
+            raise ValueError(f"bad value type {self.value!r} for {self.name}")
+        if self.kind not in ("counter", "gauge", "time"):
+            raise ValueError(f"bad kind {self.kind!r} for {self.name}")
+
+
+class MetricRegistry:
+    """An ordered, name-addressable collection of :class:`MetricSpec`."""
+
+    def __init__(self, name: str, specs: Tuple[MetricSpec, ...]):
+        self.name = name
+        self.specs = tuple(specs)
+        self._by_name = {s.name: s for s in self.specs}
+        if len(self._by_name) != len(self.specs):
+            raise ValueError(f"duplicate metric names in registry {name!r}")
+
+    def __iter__(self) -> Iterator[MetricSpec]:
+        return iter(self.specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def get(self, name: str) -> Optional[MetricSpec]:
+        return self._by_name.get(name)
+
+    def names(
+        self,
+        *,
+        value: Optional[str] = None,
+        worker_field: Optional[bool] = None,
+        modeled: Optional[bool] = None,
+    ) -> Tuple[str, ...]:
+        """Metric names, optionally filtered, in declaration order."""
+        out = []
+        for spec in self.specs:
+            if value is not None and spec.value != value:
+                continue
+            if worker_field is not None and spec.worker_field != worker_field:
+                continue
+            if modeled is not None and spec.modeled != modeled:
+                continue
+            out.append(spec.name)
+        return tuple(out)
+
+
+#: Every ``RunMetrics`` numeric field.  Declaration order is load-bearing:
+#: the ``int`` slice (in order) is the checkpoint manifest's counter tuple,
+#: the ``float`` slice its float tuple, and the ``worker_field=True`` slice
+#: the parallel executor's per-worker fold list — changing the order would
+#: change the on-disk checkpoint layout.
+RUN_METRICS = MetricRegistry(
+    "run",
+    (
+        MetricSpec("compute_calls", "int", "counter", "calls",
+                   "compute() invocations across all vertices",
+                   worker_field=True),
+        MetricSpec("scatter_calls", "int", "counter", "calls",
+                   "scatter() invocations across all vertices",
+                   worker_field=True),
+        MetricSpec("messages_sent", "int", "counter", "messages",
+                   "application messages sent"),
+        MetricSpec("message_bytes", "int", "counter", "bytes",
+                   "wire-encoded application message payload"),
+        MetricSpec("local_messages", "int", "counter", "messages",
+                   "messages delivered within a worker partition"),
+        MetricSpec("remote_messages", "int", "counter", "messages",
+                   "messages crossing worker partitions"),
+        MetricSpec("system_messages", "int", "counter", "messages",
+                   "replica state-transfer (system) messages"),
+        MetricSpec("supersteps", "int", "counter", "supersteps",
+                   "BSP supersteps executed"),
+        MetricSpec("warp_calls", "int", "counter", "calls",
+                   "time-warp merge invocations", worker_field=True),
+        MetricSpec("warp_suppressed_vertices", "int", "counter", "vertices",
+                   "vertex activations that skipped warp for time-point "
+                   "execution", worker_field=True),
+        MetricSpec("combiner_reductions", "int", "counter", "messages",
+                   "messages folded away by combiners", worker_field=True),
+        MetricSpec("shared_messages", "int", "counter", "messages",
+                   "messages avoided by interval sharing"),
+        MetricSpec("peak_inflight_messages", "int", "gauge", "messages",
+                   "largest single-superstep message volume"),
+        MetricSpec("exchange_bytes", "int", "counter", "bytes",
+                   "real bytes shipped between worker processes",
+                   modeled=False),
+        MetricSpec("compute_plus_time", "float", "time", "seconds",
+                   "measured wall-time of compute (and scatter) phases",
+                   modeled=False),
+        MetricSpec("modeled_compute_time", "float", "time", "seconds",
+                   "modeled distributed compute: sum of per-superstep "
+                   "max-worker cost"),
+        MetricSpec("worker_wall_time", "float", "time", "seconds",
+                   "measured per-superstep max worker wall-clock, summed",
+                   modeled=False),
+        MetricSpec("exchange_time", "float", "time", "seconds",
+                   "measured barrier-exchange wall-time", modeled=False),
+        MetricSpec("messaging_time", "float", "time", "seconds",
+                   "modeled exclusive message-delivery time"),
+        MetricSpec("barrier_time", "float", "time", "seconds",
+                   "modeled barrier synchronization time"),
+        MetricSpec("load_time", "float", "time", "seconds",
+                   "graph loading wall-time (excluded from makespan)",
+                   modeled=False),
+        MetricSpec("makespan", "float", "time", "seconds",
+                   "measured wall-time from first to last superstep",
+                   modeled=False),
+        MetricSpec("modeled_makespan", "float", "time", "seconds",
+                   "modeled cluster makespan (max compute + transfer + "
+                   "barrier per superstep)"),
+    ),
+)
+
+#: ``RecoveryMetrics`` fields — the durability layer's operational story,
+#: kept apart from the run registry because none of it exists in an
+#: uninterrupted run's model.
+RECOVERY_METRICS = MetricRegistry(
+    "recovery",
+    (
+        MetricSpec("checkpoints_written", "int", "counter", "checkpoints",
+                   "checkpoints written during the run", modeled=False),
+        MetricSpec("checkpoint_bytes", "int", "counter", "bytes",
+                   "total bytes of shard/manifest files written",
+                   modeled=False),
+        MetricSpec("checkpoint_seconds", "float", "time", "seconds",
+                   "wall-clock spent snapshotting and writing checkpoints",
+                   modeled=False),
+        MetricSpec("restarts", "int", "counter", "restarts",
+                   "worker-process deaths recovered from", modeled=False),
+        MetricSpec("replayed_supersteps", "int", "counter", "supersteps",
+                   "supersteps re-executed during recovery replays",
+                   modeled=False),
+        MetricSpec("recovery_seconds", "float", "time", "seconds",
+                   "wall-clock spent tearing down and respawning after "
+                   "crashes", modeled=False),
+    ),
+)

@@ -54,6 +54,8 @@ from repro.core.interval import Interval
 from repro.core.messages import IntervalMessage
 from repro.core.state import PartitionedState
 
+from repro.obs.registry import RUN_METRICS
+
 from .encoding import (
     _encode_interval_into,
     _encode_payload_into,
@@ -89,33 +91,11 @@ CHECKPOINT_FORMAT = 1
 _SHARD_MAGIC = b"ICMC"
 _STEP_DIR = re.compile(r"^step-(\d{6})$")
 
-_METRIC_COUNTERS = (
-    "compute_calls",
-    "scatter_calls",
-    "messages_sent",
-    "message_bytes",
-    "local_messages",
-    "remote_messages",
-    "system_messages",
-    "supersteps",
-    "warp_calls",
-    "warp_suppressed_vertices",
-    "combiner_reductions",
-    "shared_messages",
-    "peak_inflight_messages",
-    "exchange_bytes",
-)
-_METRIC_FLOATS = (
-    "compute_plus_time",
-    "modeled_compute_time",
-    "worker_wall_time",
-    "exchange_time",
-    "messaging_time",
-    "barrier_time",
-    "load_time",
-    "makespan",
-    "modeled_makespan",
-)
+# Manifest field order is on-disk layout: both tuples derive from the
+# metric registry's declaration order (`repro.obs.registry.RUN_METRICS`),
+# which is therefore as stable as CHECKPOINT_FORMAT itself.
+_METRIC_COUNTERS = RUN_METRICS.names(value="int")
+_METRIC_FLOATS = RUN_METRICS.names(value="float")
 
 
 class CheckpointError(RuntimeError):

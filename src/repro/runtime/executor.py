@@ -39,23 +39,22 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro.core.config import _env_int
 from repro.core.context import VertexContext
 from repro.core.engine import VertexProcessor
 from repro.core.interval import Interval
 from repro.core.messages import IntervalMessage
+from repro.obs.registry import RUN_METRICS
 
 from .checkpoint import ExecutorSnapshot
 from .encoding import decode_routed_batch, encode_routed_batch, encoded_batch_size
 from .faults import FaultPlan, WorkerDiedError, kill_process
 from .metrics import RunMetrics
 
-_COUNT_FIELDS = (
-    "compute_calls",
-    "scatter_calls",
-    "warp_calls",
-    "warp_suppressed_vertices",
-    "combiner_reductions",
-)
+#: Counters each worker process accumulates locally and the master folds at
+#: the barrier — the registry's ``worker_field`` slice, in declaration
+#: order (`repro.obs.registry.RUN_METRICS`).
+_COUNT_FIELDS = RUN_METRICS.names(worker_field=True)
 
 
 def _env_fault_plan() -> Optional[FaultPlan]:
@@ -69,23 +68,36 @@ def _env_fault_plan() -> Optional[FaultPlan]:
         raise ValueError(f"invalid REPRO_FAULT_PLAN: {exc}") from None
 
 
-def resolve_executor(spec: Any = None, processes: Optional[int] = None, *, tracer=None):
+def resolve_executor(
+    spec: Any = None,
+    processes: Optional[int] = None,
+    *,
+    tracer=None,
+    fault_plan: Any = None,
+    from_env: bool = False,
+):
     """Turn an executor spec into an executor instance.
 
     ``spec`` may be ``"serial"``, ``"parallel"``, an executor instance, or
     ``None`` (read the ``REPRO_EXECUTOR`` environment variable, default
-    serial).  ``processes=None`` reads ``REPRO_EXECUTOR_PROCESSES``.  A
-    ``REPRO_FAULT_PLAN`` in the environment arms the parallel executor with
-    a :class:`~repro.runtime.faults.FaultPlan` (chaos testing).  All three
-    variables are validated eagerly — a typo fails loudly, naming the
-    variable, instead of silently running the wrong configuration.
+    serial).  ``processes=None`` reads ``REPRO_EXECUTOR_PROCESSES``.
+    ``fault_plan`` arms the parallel executor: a
+    :class:`~repro.runtime.faults.FaultPlan` is used as-is, a spec string
+    (``EngineConfig`` stores the validated string so one frozen config can
+    arm many runs) is parsed into a fresh plan, and ``None`` falls back to
+    ``REPRO_FAULT_PLAN`` (chaos CI knob).  ``from_env=True`` marks a
+    ``spec`` string that itself came from ``REPRO_EXECUTOR``
+    (``EngineConfig.from_env`` resolves the variable eagerly and carries
+    the provenance here).  All environment variables are validated eagerly
+    — a typo fails loudly, naming the variable, instead of silently
+    running the wrong configuration.
     """
     if spec is not None and not isinstance(spec, str):
         executor = spec
     else:
-        from_env = spec is None
+        env_sourced = spec is None or from_env
         name = spec or os.environ.get("REPRO_EXECUTOR", "serial")
-        if tracer is not None and spec is None:
+        if tracer is not None and env_sourced:
             # Tracing is in-process only.  An *environment*-forced parallel
             # executor falls back to serial so traced runs keep working
             # under REPRO_EXECUTOR=parallel test sweeps; explicitly asking
@@ -93,32 +105,25 @@ def resolve_executor(spec: Any = None, processes: Optional[int] = None, *, trace
             name = "serial"
         if name not in ("serial", "parallel"):
             source = (
-                f"REPRO_EXECUTOR={name!r}" if from_env else f"executor {name!r}"
+                f"REPRO_EXECUTOR={name!r}" if env_sourced else f"executor {name!r}"
             )
             raise ValueError(
                 f"unknown executor in {source} (expected 'serial' or 'parallel')"
             )
         if processes is None:
-            env = os.environ.get("REPRO_EXECUTOR_PROCESSES")
-            if env:
-                try:
-                    processes = int(env)
-                except ValueError:
-                    raise ValueError(
-                        f"invalid REPRO_EXECUTOR_PROCESSES={env!r} "
-                        "(expected a positive integer)"
-                    ) from None
-                if processes < 1:
-                    raise ValueError(
-                        f"invalid REPRO_EXECUTOR_PROCESSES={env!r} "
-                        "(expected a positive integer)"
-                    )
+            processes = _env_int(
+                os.environ, "REPRO_EXECUTOR_PROCESSES", minimum=1
+            )
         if name == "serial":
             executor = SerialExecutor()
         else:
-            executor = ParallelExecutor(
-                processes=processes, fault_plan=_env_fault_plan()
-            )
+            if fault_plan is None:
+                plan = _env_fault_plan()
+            elif isinstance(fault_plan, str):
+                plan = FaultPlan.parse(fault_plan)
+            else:
+                plan = fault_plan
+            executor = ParallelExecutor(processes=processes, fault_plan=plan)
     if tracer is not None and executor.name != "serial":
         raise ValueError(
             "the parallel executor cannot host an ExecutionTracer "

@@ -22,7 +22,9 @@ from __future__ import annotations
 import itertools
 from typing import Any, Optional
 
-from repro.core.engine import IcmResult, IntervalCentricEngine
+from repro import api
+from repro.core.config import EngineConfig
+from repro.core.engine import IcmResult
 from repro.core.interval import FOREVER, Interval
 from repro.core.program import IntervalProgram
 from repro.graph.builder import PropertySpec, _normalise_spec
@@ -50,6 +52,8 @@ class StreamingIntervalEngine:
         *,
         cluster: Optional[SimulatedCluster] = None,
         graph_name: str = "stream",
+        config: Optional[EngineConfig] = None,
+        observe: Any = None,
         **engine_options: Any,
     ):
         if not program.incremental_safe:
@@ -60,6 +64,10 @@ class StreamingIntervalEngine:
         self.program = program
         self.cluster = cluster or SimulatedCluster()
         self.graph_name = graph_name
+        self.config = config
+        #: Observability shared by every refresh: a trace path accumulates
+        #: one ``run_start``-delimited segment per compute().
+        self.observe = observe
         self.engine_options = engine_options
         self.graph = TemporalGraph()
         self._eids = itertools.count()
@@ -122,9 +130,10 @@ class StreamingIntervalEngine:
 
     def compute(self) -> IcmResult:
         """(Re)compute: full on first call, incremental afterwards."""
-        engine = IntervalCentricEngine(
+        engine = api.build_engine(
             self.graph, self.program, cluster=self.cluster,
-            graph_name=self.graph_name, **self.engine_options,
+            graph_name=self.graph_name, config=self.config,
+            options=self.engine_options, observe=self.observe,
         )
         if self._states is None:
             result = engine.run()

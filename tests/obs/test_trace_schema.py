@@ -1,0 +1,128 @@
+"""Trace schema: every emitted event validates; serial ≡ parallel logically.
+
+Runs three representative algorithms (a TI flood, a TD fixpoint and
+PageRank's aggregator-terminated iteration) under both executors with a
+JSON-lines trace attached, then checks the full schema contract on every
+record and the logical serial↔parallel equivalence that CI diffs.
+"""
+
+import pytest
+
+from repro.algorithms import run_algorithm
+from repro.datasets import transit_graph
+from repro.obs.events import (
+    EVENT_SCHEMA_VERSION,
+    EVENT_TYPES,
+    RUN_LEVEL_TYPES,
+    validate_event,
+)
+from repro.obs.exporters import (
+    logical_sequence,
+    read_trace,
+    render_report,
+    render_timeline,
+    split_runs,
+)
+from repro.runtime.cluster import SimulatedCluster
+
+ALGORITHMS = ("BFS", "SSSP", "PR")
+
+
+def _trace(tmp_path, algorithm, executor):
+    path = tmp_path / f"{algorithm}-{executor}.trace"
+    icm_options = {"executor": executor}
+    if executor == "parallel":
+        icm_options["executor_processes"] = 2
+    run_algorithm(
+        algorithm, "GRAPHITE", transit_graph(),
+        cluster=SimulatedCluster(5), graph_name="transit",
+        icm_options=icm_options, observe=str(path),
+    )
+    return read_trace(path)
+
+
+@pytest.fixture(scope="module")
+def traces(tmp_path_factory):
+    tmp_path = tmp_path_factory.mktemp("traces")
+    return {
+        (algorithm, executor): _trace(tmp_path, algorithm, executor)
+        for algorithm in ALGORITHMS
+        for executor in ("serial", "parallel")
+    }
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("executor", ("serial", "parallel"))
+def test_every_record_validates(traces, algorithm, executor):
+    records = traces[(algorithm, executor)]
+    assert records, "trace must not be empty"
+    for record in records:
+        validate_event(record)  # exact key set, versions, payload schema
+        assert record["v"] == EVENT_SCHEMA_VERSION
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_trace_structure(traces, algorithm):
+    records = traces[(algorithm, "serial")]
+    assert records[0]["type"] == "run_start"
+    assert records[-1]["type"] == "run_end"
+    assert [r["seq"] for r in records] == list(range(len(records)))
+
+    start, end = records[0], records[-1]
+    assert start["data"]["algorithm"] == algorithm
+    assert start["data"]["platform"] == "GRAPHITE"
+    assert start["data"]["graph"] == "transit"
+
+    # Each superstep contributes the full phase cycle, in order.
+    per_step = {}
+    for record in records[1:-1]:
+        per_step.setdefault(record["superstep"], []).append(record["type"])
+    assert sorted(per_step) == list(range(1, end["data"]["supersteps"] + 1))
+    for types in per_step.values():
+        assert types == ["superstep_start", "compute_phase",
+                         "scatter_phase", "barrier_exchange", "superstep_end"]
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_run_end_totals_match_phase_sums(traces, algorithm):
+    records = traces[(algorithm, "serial")]
+    end = records[-1]["data"]
+    compute = sum(r["data"]["compute_calls"] for r in records
+                  if r["type"] == "compute_phase")
+    messages = sum(r["data"]["messages"] for r in records
+                   if r["type"] == "scatter_phase")
+    assert compute == end["compute_calls"]
+    assert messages == end["messages_sent"]
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_serial_parallel_logical_equivalence(traces, algorithm):
+    serial = logical_sequence(traces[(algorithm, "serial")])
+    parallel = logical_sequence(traces[(algorithm, "parallel")])
+    assert serial == parallel
+
+
+def test_superstep_events_use_positive_steps(traces):
+    for records in traces.values():
+        for record in records:
+            if record["type"] in RUN_LEVEL_TYPES:
+                assert record["superstep"] is None
+            else:
+                assert record["superstep"] >= 1
+
+
+def test_schema_covers_recovery_events():
+    # The durability types are part of the v1 schema even though a
+    # fault-free run never emits them.
+    for etype in ("checkpoint_write", "worker_death", "rollback"):
+        assert etype in EVENT_TYPES
+
+
+def test_renderers_accept_real_traces(traces):
+    records = traces[("SSSP", "serial")]
+    assert len(split_runs(records)) == 1
+    report = render_report(records)
+    assert "SSSP" in report and "GRAPHITE" in report
+    supersteps = records[-1]["data"]["supersteps"]
+    timeline = render_timeline(records)
+    assert len(timeline.splitlines()) == 1 + supersteps  # header + one row/step

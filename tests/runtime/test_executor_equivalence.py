@@ -7,10 +7,13 @@ per-shard modeled compute sums in the same order serial would use.  These
 tests hold the contract across the whole algorithm matrix.
 """
 
+import os
+
 import pytest
 
 from repro.algorithms import ALL_ALGORITHMS, run_algorithm
 from repro.core.engine import IcmProgramError, IntervalCentricEngine
+from repro.obs.observers import InMemoryEvents
 from repro.core.interval import Interval
 from repro.core.program import IntervalProgram
 from repro.core.tracing import ExecutionTracer
@@ -51,26 +54,34 @@ def _partitions(result):
     return {vid: list(state) for vid, state in states.items()}
 
 
-def _run(algorithm, **icm_options):
+def _run(algorithm, observe=None, **icm_options):
     # The serial reference is pinned explicitly so the comparison stays
     # meaningful under REPRO_EXECUTOR=parallel test sweeps.
     return run_algorithm(
         algorithm, "GRAPHITE", transit_graph(),
         cluster=SimulatedCluster(5), graph_name="transit",
         icm_options=icm_options or {"executor": "serial"},
+        observe=observe,
     )
 
 
 @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
 def test_parallel_matches_serial(algorithm):
-    serial = _run(algorithm)
-    parallel = _run(algorithm, **PARALLEL)
+    serial_events, parallel_events = InMemoryEvents(), InMemoryEvents()
+    serial = _run(algorithm, observe=serial_events)
+    parallel = _run(algorithm, observe=parallel_events, **PARALLEL)
 
     assert _partitions(serial.result) == _partitions(parallel.result)
     if hasattr(serial.result, "aggregates"):
         assert serial.result.aggregates == parallel.result.aggregates
     for fld in EXACT_FIELDS:
         assert getattr(serial.metrics, fld) == getattr(parallel.metrics, fld), fld
+    # Same logical event stream from both executors — wall-clock facts
+    # excluded by logical().  Fault-plan sweeps replay supersteps on the
+    # parallel side only, so the sequence check is skipped there.
+    assert serial_events.records, "runs must emit events when observed"
+    if not os.environ.get("REPRO_FAULT_PLAN"):
+        assert serial_events.logical() == parallel_events.logical()
 
 
 def test_executor_recorded_in_metrics():

@@ -7,6 +7,8 @@ import pytest
 
 PACKAGES = [
     "repro",
+    "repro.api",
+    "repro.obs",
     "repro.core",
     "repro.graph",
     "repro.runtime",

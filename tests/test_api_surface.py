@@ -1,0 +1,203 @@
+"""The `repro.api` front door: surface, config shim, env parsing, fingerprints.
+
+These tests pin the public API redesign: `EngineConfig` is the one way to
+configure an engine, legacy constructor kwargs keep working through a
+deprecation shim that names its replacement, environment resolution lives
+in `EngineConfig.from_env`, and observability settings never perturb the
+checkpoint config fingerprint (traces are diagnostics, not semantics).
+"""
+
+import dataclasses
+import warnings
+
+import pytest
+
+from repro import api
+from repro.algorithms.td.sssp import TemporalSSSP
+from repro.core.config import (
+    CheckpointConfig,
+    EngineConfig,
+    ExecutorConfig,
+    ObservabilityConfig,
+    StateConfig,
+    WarpConfig,
+)
+from repro.core.engine import IntervalCentricEngine
+from repro.datasets import transit_graph
+from repro.obs.observers import InMemoryEvents
+from repro.runtime.checkpoint import config_fingerprint
+from repro.runtime.cluster import SimulatedCluster
+
+
+def _engine(**kwargs):
+    return IntervalCentricEngine(
+        transit_graph(), TemporalSSSP("A"), cluster=SimulatedCluster(4), **kwargs
+    )
+
+
+# -- surface -------------------------------------------------------------------
+
+
+def test_api_exports():
+    expected = {
+        "CheckpointConfig", "EngineConfig", "ExecutorConfig", "IcmResult",
+        "IntervalCentricEngine", "ObservabilityConfig", "StateConfig",
+        "WarpConfig", "build_engine", "compare", "run",
+    }
+    assert expected <= set(api.__all__)
+    for name in api.__all__:
+        assert getattr(api, name) is not None
+
+
+def _partitions(result):
+    return {vid: list(state) for vid, state in result.states.items()}
+
+
+def test_run_and_build_engine_agree():
+    result = api.run(transit_graph(), TemporalSSSP("A"))
+    engine = api.build_engine(transit_graph(), TemporalSSSP("A"))
+    assert _partitions(engine.run()) == _partitions(result)
+
+
+def test_engine_config_is_frozen():
+    config = EngineConfig()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        config.max_supersteps = 5
+
+
+# -- legacy-kwarg shim ---------------------------------------------------------
+
+
+def test_legacy_kwargs_map_to_config_groups():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        engine = _engine(
+            enable_warp_suppression=False, executor="serial",
+            checkpoint_every=3, coalesce_states=False,
+        )
+    assert engine.config.warp.enable_suppression is False
+    assert engine.config.executor.kind == "serial"
+    assert engine.config.checkpoint.every == 3
+    assert engine.config.state.coalesce is False
+
+
+def test_legacy_kwargs_warn_with_replacement():
+    with pytest.warns(DeprecationWarning, match=r"executor=ExecutorConfig\(kind"):
+        _engine(executor="serial")
+    with pytest.warns(DeprecationWarning, match=r"EngineConfig\(max_supersteps"):
+        _engine(max_supersteps=7)
+
+
+def test_unknown_legacy_kwarg_raises():
+    with pytest.raises(TypeError, match="unexpected keyword argument 'warp_speed'"):
+        _engine(warp_speed=9)
+
+
+def test_legacy_and_config_spellings_run_identically():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        legacy = _engine(enable_warp_combiner=False, executor="serial").run()
+    config = EngineConfig(
+        warp=WarpConfig(enable_combiner=False),
+        executor=ExecutorConfig(kind="serial"),
+    )
+    modern = _engine(config=config).run()
+    assert _partitions(legacy) == _partitions(modern)
+    from repro.obs.registry import RUN_METRICS
+    for field in RUN_METRICS.names(modeled=True):
+        assert getattr(legacy.metrics, field) == getattr(modern.metrics, field)
+
+
+def test_with_options_rejects_unknown_names():
+    with pytest.raises(TypeError, match="unknown engine option 'warp_speed'"):
+        EngineConfig().with_options(warp_speed=9)
+
+
+# -- environment resolution ----------------------------------------------------
+
+
+def test_from_env_reads_all_knobs():
+    env = {
+        "REPRO_EXECUTOR": "parallel",
+        "REPRO_EXECUTOR_PROCESSES": "3",
+        "REPRO_CHECKPOINT_EVERY": "2",
+        "REPRO_CHECKPOINT_DIR": "/tmp/ckpt",
+        "REPRO_FAULT_PLAN": "seed:7",
+    }
+    config = EngineConfig.from_env(env)
+    assert config.executor.kind == "parallel"
+    assert config.executor.kind_from_env is True
+    assert config.executor.processes == 3
+    assert config.executor.fault_plan == "seed:7"
+    assert config.checkpoint.every == 2
+    assert config.checkpoint.dir == "/tmp/ckpt"
+
+
+def test_from_env_validates_eagerly():
+    with pytest.raises(ValueError, match="REPRO_EXECUTOR_PROCESSES='x'"):
+        EngineConfig.from_env({"REPRO_EXECUTOR_PROCESSES": "x"})
+    with pytest.raises(ValueError, match="REPRO_EXECUTOR"):
+        EngineConfig.from_env({"REPRO_EXECUTOR": "threads"})
+    with pytest.raises(ValueError, match="fault plan|REPRO_FAULT_PLAN"):
+        EngineConfig.from_env({"REPRO_FAULT_PLAN": "nonsense"})
+
+
+def test_explicit_executor_clears_env_provenance():
+    config = EngineConfig.from_env({"REPRO_EXECUTOR": "parallel"})
+    assert config.executor.kind_from_env is True
+    overridden = config.with_options(executor="parallel")
+    assert overridden.executor.kind_from_env is False
+
+
+# -- observability vs checkpoint fingerprint -----------------------------------
+
+
+def test_fingerprint_ignores_observability():
+    plain = _engine(config=EngineConfig())
+    observed = _engine(config=EngineConfig(
+        observability=ObservabilityConfig(observers=(InMemoryEvents(),)),
+    ))
+    traced = _engine(config=EngineConfig(
+        observability=ObservabilityConfig(trace_path="/tmp/x.trace"),
+    ))
+    assert config_fingerprint(plain) == config_fingerprint(observed)
+    assert config_fingerprint(plain) == config_fingerprint(traced)
+
+
+def test_fingerprint_stable_across_legacy_and_config_spellings():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        legacy = _engine(enable_warp_suppression=False)
+    modern = _engine(config=EngineConfig(warp=WarpConfig(enable_suppression=False)))
+    assert config_fingerprint(legacy) == config_fingerprint(modern)
+
+
+def test_fingerprint_tracks_modeled_options():
+    base = _engine(config=EngineConfig())
+    tweaked = _engine(config=EngineConfig(warp=WarpConfig(enable_combiner=False)))
+    assert config_fingerprint(base) != config_fingerprint(tweaked)
+
+
+# -- observe coercion ----------------------------------------------------------
+
+
+def test_observe_accepts_path_observer_and_iterable(tmp_path):
+    trace = tmp_path / "run.trace"
+    events = InMemoryEvents()
+    api.run(transit_graph(), TemporalSSSP("A"), observe=str(trace))
+    assert trace.exists() and trace.read_text().strip()
+    api.run(transit_graph(), TemporalSSSP("A"), observe=events)
+    assert events.records
+    more = InMemoryEvents()
+    api.run(transit_graph(), TemporalSSSP("A"), observe=[more])
+    assert more.logical() == events.logical()
+
+
+def test_observe_config_merges_with_base_config():
+    base_events, extra_events = InMemoryEvents(), InMemoryEvents()
+    config = EngineConfig(
+        observability=ObservabilityConfig(observers=(base_events,))
+    )
+    api.run(transit_graph(), TemporalSSSP("A"), config=config, observe=extra_events)
+    assert base_events.records and extra_events.records
+    assert base_events.logical() == extra_events.logical()

@@ -1,9 +1,9 @@
-"""Every ``repro.*`` dotted symbol mentioned in DESIGN.md must resolve.
+"""Every ``repro.*`` dotted symbol mentioned in DESIGN.md / README.md must resolve.
 
-DESIGN.md is the paper→code map; a typo'd class or a module renamed without
-updating the doc silently strands readers.  This test extracts every dotted
-``repro...`` reference and checks it imports as a module or resolves as an
-attribute of one.
+DESIGN.md is the paper→code map and README.md the front-door tour; a
+typo'd class or a module renamed without updating the docs silently
+strands readers.  This test extracts every dotted ``repro...`` reference
+and checks it imports as a module or resolves as an attribute of one.
 """
 
 import importlib
@@ -13,11 +13,16 @@ from pathlib import Path
 import pytest
 
 DESIGN = Path(__file__).resolve().parent.parent / "DESIGN.md"
+README = Path(__file__).resolve().parent.parent / "README.md"
 SYMBOL = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
 
 
 def design_symbols():
     return sorted(set(SYMBOL.findall(DESIGN.read_text(encoding="utf-8"))))
+
+
+def readme_symbols():
+    return sorted(set(SYMBOL.findall(README.read_text(encoding="utf-8"))))
 
 
 def resolve(dotted: str):
@@ -46,3 +51,17 @@ def test_design_md_symbol_resolves(dotted):
         resolve(dotted)
     except (ImportError, AttributeError) as exc:
         pytest.fail(f"DESIGN.md references {dotted!r} which does not resolve: {exc}")
+
+
+def test_readme_mentions_api_and_obs():
+    symbols = readme_symbols()
+    assert "repro.api" in symbols, "README should tour the repro.api front door"
+    assert "repro.obs" in symbols, "README should tour the observability layer"
+
+
+@pytest.mark.parametrize("dotted", readme_symbols())
+def test_readme_symbol_resolves(dotted):
+    try:
+        resolve(dotted)
+    except (ImportError, AttributeError) as exc:
+        pytest.fail(f"README.md references {dotted!r} which does not resolve: {exc}")

@@ -1,0 +1,50 @@
+"""In-tree guard for the facade contract: engines are built via `repro.api`.
+
+Runs the same check as ``scripts/lint_engine_construction.py`` (which CI
+executes standalone): no module under ``src/repro`` other than the api
+facade may construct :class:`IntervalCentricEngine` directly.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_lint():
+    spec = importlib.util.spec_from_file_location(
+        "lint_engine_construction",
+        ROOT / "scripts" / "lint_engine_construction.py",
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_no_direct_engine_construction_outside_api():
+    lint = _load_lint()
+    assert lint.violations(ROOT) == []
+
+
+def test_lint_flags_direct_construction(tmp_path):
+    lint = _load_lint()
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "rogue.py").write_text(
+        "engine = IntervalCentricEngine(graph, program)\n", encoding="utf-8"
+    )
+    hits = lint.violations(tmp_path)
+    assert len(hits) == 1 and "rogue.py:1" in hits[0]
+
+
+def test_lint_ignores_strings_and_attributes(tmp_path):
+    lint = _load_lint()
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "ok.py").write_text(
+        'msg = "IntervalCentricEngine(..., executor=...) is deprecated"\n'
+        "cls = MyIntervalCentricEngine(graph)\n",
+        encoding="utf-8",
+    )
+    assert lint.violations(tmp_path) == []
