@@ -31,6 +31,14 @@ Times the engine's four hot kernels on synthetic workloads —
                     Gated like checkpointing, with a hard <10% ceiling in
                     full mode: structured events are emitted per superstep,
                     not per message, so tracing must stay near-free.
+* **partition**     — the locality synthetic graph under greedy (LDG) and
+                    interval-greedy partitioning against Giraph-style hash
+                    partitioning (paper Sec. VII-A4), after asserting
+                    bit-identical states across every partitioner and both
+                    executors.  The gated metric is the deterministic
+                    remote-barrier-byte ratio hash/greedy (a "speedup":
+                    higher is better, hardware-independent); both greedy
+                    variants must cut remote bytes ≥30% vs hash.
 
 Results are written to ``BENCH_kernels.json`` at the repository root: a
 committed **baseline** plus a bounded run **history**, so the repo carries
@@ -89,7 +97,12 @@ RESULTS_PATH = REPO_ROOT / "BENCH_kernels.json"
 # the smoke gate is a sanity check, the full gate is the contract.
 REGRESSION_TOLERANCE = {"full": 0.20, "smoke": 0.50}
 HISTORY_LIMIT = 50
-SPEEDUP_FLOOR = {"warp_10k": 3.0, "engine_parallel": 1.7}  # acceptance bars
+SPEEDUP_FLOOR = {
+    "warp_10k": 3.0,
+    "engine_parallel": 1.7,
+    # ≥30% remote-byte reduction vs hash ⇒ hash/greedy ratio ≥ 1/0.7.
+    "partition_quality": 1.43,
+}  # acceptance bars
 #: Hard ceiling on overhead-style metrics (instrumented / plain wall-clock).
 #: The checkpoint cadence of 4 must cost <15% on the 10k-message workload;
 #: full observability instrumentation must cost <10% on the same workload.
@@ -106,6 +119,7 @@ SIZES = {
         encode_messages=20_000, repeats=3,
         engine_vertices=160, engine_fanout=7, engine_span=64,
         engine_supersteps=4, engine_shards=4, engine_procs=4,
+        locality_scale=1.0,
     ),
     "smoke": dict(
         warp_messages=3_000, warp_partitions=48, warp_span=3_000,
@@ -114,6 +128,7 @@ SIZES = {
         encode_messages=4_000, repeats=3,
         engine_vertices=60, engine_fanout=5, engine_span=32,
         engine_supersteps=4, engine_shards=4, engine_procs=2,
+        locality_scale=0.5,
     ),
 }
 
@@ -423,6 +438,75 @@ def bench_observability_overhead(sizes, repeats):
     }
 
 
+def bench_partition_quality(sizes):
+    """Remote barrier-exchange bytes under each partitioner (Sec. VII-A4).
+
+    Runs the flood workload on the community-structured ``locality``
+    surrogate with 4 workers.  Every quantity gated here is *modeled* and
+    therefore deterministic — no repeats, no wall-clock — which is what
+    lets CI enforce the ≥30% remote-byte reduction exactly.  Results must
+    be bit-identical across all partitioners (placement moves messages,
+    never changes states) and across executors under the greedy placement.
+    """
+    from repro.datasets.synthetic import locality
+
+    graph = locality(sizes["locality_scale"])
+    supersteps = sizes["engine_supersteps"]
+    workers = 4
+
+    def run(partitioner, executor="serial", processes=None):
+        return api.run(
+            graph, _FloodMin(supersteps), cluster=SimulatedCluster(workers),
+            options={
+                "partitioner": partitioner,
+                "executor": executor,
+                "executor_processes": processes,
+                "checkpoint_every": 0,
+            },
+        )
+
+    runs = {kind: run(kind) for kind in ("hash", "greedy", "interval_greedy")}
+    greedy_parallel = run("greedy", "parallel", 2)
+
+    def states_of(result):
+        return {v: list(s) for v, s in result.states.items()}
+
+    reference = states_of(runs["hash"])
+    for kind, result in runs.items():
+        assert states_of(result) == reference, (
+            f"partitioner {kind} changed the computed states"
+        )
+    assert states_of(greedy_parallel) == reference, (
+        "parallel greedy run diverged from serial"
+    )
+    assert (
+        greedy_parallel.metrics.remote_message_bytes
+        == runs["greedy"].metrics.remote_message_bytes
+    ), "executors disagree on remote barrier bytes under greedy partitioning"
+
+    hash_bytes = runs["hash"].metrics.remote_message_bytes
+    for kind in ("greedy", "interval_greedy"):
+        kind_bytes = runs[kind].metrics.remote_message_bytes
+        assert kind_bytes <= 0.7 * hash_bytes, (
+            f"{kind} cut remote bytes only "
+            f"{1 - kind_bytes / hash_bytes:.1%} vs hash (need >=30%)"
+        )
+
+    greedy_bytes = runs["greedy"].metrics.remote_message_bytes
+    return {
+        "speedup": hash_bytes / greedy_bytes,
+        "hash_remote_bytes": hash_bytes,
+        "greedy_remote_bytes": greedy_bytes,
+        "interval_greedy_remote_bytes":
+            runs["interval_greedy"].metrics.remote_message_bytes,
+        "hash_edge_cut": runs["hash"].metrics.partition_edge_cut,
+        "greedy_edge_cut": runs["greedy"].metrics.partition_edge_cut,
+        "interval_greedy_edge_cut":
+            runs["interval_greedy"].metrics.partition_edge_cut,
+        "workers": workers,
+    }
+
+
 # -- gate ----------------------------------------------------------------------
 
 
@@ -519,10 +603,19 @@ def main(argv=None) -> int:
         ("checkpoint_overhead", lambda: bench_checkpoint_overhead(sizes, repeats)),
         ("observability_overhead",
          lambda: bench_observability_overhead(sizes, repeats)),
+        ("partition_quality", lambda: bench_partition_quality(sizes)),
     ):
         result = fn()
         results[name] = result
-        if "overhead" in result:
+        if "hash_remote_bytes" in result:
+            print(
+                f"  {name:20s} hash {result['hash_remote_bytes']:6d} B   "
+                f"greedy {result['greedy_remote_bytes']:6d} B   "
+                f"ival {result['interval_greedy_remote_bytes']:6d} B   "
+                f"ratio {result['speedup']:5.2f}x   "
+                f"(cut {result['hash_edge_cut']:.2f}→{result['greedy_edge_cut']:.2f})"
+            )
+        elif "overhead" in result:
             if "checkpoints" in result:
                 extra = (f"({result['checkpoints']} ckpts, "
                          f"{result['checkpoint_bytes']} bytes)")

@@ -39,6 +39,7 @@ from repro.core.config import (
     EngineConfig,
     ExecutorConfig,
     ObservabilityConfig,
+    PartitioningConfig,
     StateConfig,
     WarpConfig,
 )
@@ -52,6 +53,7 @@ __all__ = [
     "IcmResult",
     "IntervalCentricEngine",
     "ObservabilityConfig",
+    "PartitioningConfig",
     "StateConfig",
     "WarpConfig",
     "build_engine",
@@ -91,11 +93,11 @@ def build_engine(
     """Construct a configured engine (without running it).
 
     ``config`` defaults to :meth:`EngineConfig.from_env`; ``options`` are
-    flat overrides in legacy-kwarg names (``{"executor": "parallel"}``)
-    applied via :meth:`EngineConfig.with_options` — no deprecation
-    warnings, this is the supported programmatic spelling; ``observe``
-    adds observability on top (path / observer / iterable /
-    :class:`ObservabilityConfig`).
+    flat overrides in legacy-kwarg names (``{"executor": "parallel"}``,
+    ``{"partitioner": "greedy"}``) applied via
+    :meth:`EngineConfig.with_options` — no deprecation warnings, this is
+    the supported programmatic spelling; ``observe`` adds observability on
+    top (path / observer / iterable / :class:`ObservabilityConfig`).
     """
     cfg = _effective_config(config, options, observe)
     return IntervalCentricEngine(

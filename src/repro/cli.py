@@ -43,12 +43,15 @@ def _load(name: str, scale: float):
 
 
 def _icm_options(args: argparse.Namespace) -> dict:
-    """Executor selection forwarded to GRAPHITE engine constructions."""
+    """Executor/partitioner selection forwarded to GRAPHITE engine
+    constructions."""
     options: dict = {}
     if getattr(args, "executor", None) is not None:
         options["executor"] = args.executor
     if getattr(args, "processes", None) is not None:
         options["executor_processes"] = args.processes
+    if getattr(args, "partitioner", None) is not None:
+        options["partitioner"] = args.partitioner
     if getattr(args, "checkpoint_every", None) is not None:
         options["checkpoint_every"] = args.checkpoint_every
     if getattr(args, "checkpoint_dir", None) is not None:
@@ -215,6 +218,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--processes", type=int, default=None,
                        help="worker processes for --executor parallel "
                             "(default: one per available core)")
+        p.add_argument("--partitioner",
+                       choices=("hash", "range", "greedy", "interval_greedy"),
+                       default=None,
+                       help="vertex-to-worker placement for GRAPHITE runs "
+                            "(default: REPRO_PARTITIONER env var or hash)")
 
     p_run = sub.add_parser("run", help="run one algorithm on one platform")
     p_run.add_argument("algorithm", choices=ALL_ALGORITHMS)

@@ -16,6 +16,8 @@ Environment resolution lives in exactly one documented place,
 ``REPRO_FAULT_PLAN``          ``kill:W@S`` / ``seed:N`` → ``executor.fault_plan``
 ``REPRO_CHECKPOINT_EVERY``    non-negative int → ``checkpoint.every`` (0 = off)
 ``REPRO_CHECKPOINT_DIR``      path → ``checkpoint.dir``
+``REPRO_PARTITIONER``         ``hash`` | ``range`` | ``greedy`` |
+                              ``interval_greedy`` → ``partitioning.kind``
 ============================  =================================================
 
 Every variable is validated eagerly — a typo fails loudly, naming the
@@ -42,9 +44,15 @@ __all__ = [
     "EngineConfig",
     "ExecutorConfig",
     "ObservabilityConfig",
+    "PartitioningConfig",
     "StateConfig",
     "WarpConfig",
 ]
+
+#: Duplicated from ``repro.runtime.partitioner.PARTITIONER_KINDS`` so config
+#: validation stays import-cycle-free; ``test_cluster_partitioner`` pins the
+#: two tuples equal.
+_PARTITIONER_KINDS = ("hash", "range", "greedy", "interval_greedy")
 
 
 @dataclass(frozen=True)
@@ -112,6 +120,41 @@ class ExecutorConfig:
         if self.processes is not None and self.processes < 1:
             raise ValueError(
                 f"executor processes must be >= 1, got {self.processes}"
+            )
+
+
+@dataclass(frozen=True)
+class PartitioningConfig:
+    """Vertex→worker placement (`repro.runtime.partitioner`).
+
+    ``kind=None`` keeps whatever partitioner the cluster already carries
+    (the historical CRC32 hash partitioner by default); naming a kind makes
+    the engine build that partitioner for its graph at construction time.
+    ``seed`` perturbs hash/greedy placement deterministically and
+    ``capacity_slack`` is the LDG balance budget (≥ 1.0; 1.1 follows
+    Stanton & Kliot).
+    """
+
+    kind: Optional[str] = None
+    seed: int = 0
+    capacity_slack: float = 1.1
+    #: True when :meth:`EngineConfig.from_env` filled ``kind`` from
+    #: ``REPRO_PARTITIONER`` rather than an explicit caller choice — an
+    #: env-forced kind yields to a partitioner the caller installed on the
+    #: cluster directly (sweep-wide defaults must not override explicit
+    #: placements), while an explicitly configured one wins.
+    kind_from_env: bool = False
+
+    def __post_init__(self):
+        if self.kind is not None and self.kind not in _PARTITIONER_KINDS:
+            raise ValueError(
+                f"partitioner kind {self.kind!r} unknown "
+                f"(expected one of {', '.join(_PARTITIONER_KINDS)})"
+            )
+        if self.capacity_slack < 1.0:
+            raise ValueError(
+                f"partitioner capacity_slack must be >= 1.0, "
+                f"got {self.capacity_slack!r}"
             )
 
 
@@ -228,6 +271,18 @@ def _env_executor_kind(env: Mapping[str, str]) -> Optional[str]:
     return raw
 
 
+def _env_partitioner_kind(env: Mapping[str, str]) -> Optional[str]:
+    raw = env.get("REPRO_PARTITIONER")
+    if not raw:
+        return None
+    if raw not in _PARTITIONER_KINDS:
+        raise ValueError(
+            f"unknown partitioner in REPRO_PARTITIONER={raw!r} "
+            f"(expected one of {', '.join(_PARTITIONER_KINDS)})"
+        )
+    return raw
+
+
 def _env_fault_plan(env: Mapping[str, str]) -> Optional[str]:
     raw = env.get("REPRO_FAULT_PLAN")
     if not raw:
@@ -256,6 +311,9 @@ _OPTION_MAP: dict[str, tuple[Optional[str], str]] = {
     "executor": ("executor", "kind"),
     "executor_processes": ("executor", "processes"),
     "fault_plan": ("executor", "fault_plan"),
+    "partitioner": ("partitioning", "kind"),
+    "partitioner_seed": ("partitioning", "seed"),
+    "partitioner_slack": ("partitioning", "capacity_slack"),
     "checkpoint_every": ("checkpoint", "every"),
     "checkpoint_dir": ("checkpoint", "dir"),
     "max_restarts": ("checkpoint", "max_restarts"),
@@ -268,6 +326,7 @@ _GROUP_CLASS_NAMES = {
     "warp": "WarpConfig",
     "state": "StateConfig",
     "executor": "ExecutorConfig",
+    "partitioning": "PartitioningConfig",
     "checkpoint": "CheckpointConfig",
     "observability": "ObservabilityConfig",
 }
@@ -280,6 +339,7 @@ class EngineConfig:
     warp: WarpConfig = field(default_factory=WarpConfig)
     state: StateConfig = field(default_factory=StateConfig)
     executor: ExecutorConfig = field(default_factory=ExecutorConfig)
+    partitioning: PartitioningConfig = field(default_factory=PartitioningConfig)
     checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
     observability: ObservabilityConfig = field(default_factory=ObservabilityConfig)
     #: Safety valve; exceeding it raises ``RuntimeError``.
@@ -295,12 +355,17 @@ class EngineConfig:
         if env is None:
             env = os.environ
         kind = _env_executor_kind(env)
+        partitioner_kind = _env_partitioner_kind(env)
         return cls(
             executor=ExecutorConfig(
                 kind=kind,
                 processes=_env_int(env, "REPRO_EXECUTOR_PROCESSES", minimum=1),
                 fault_plan=_env_fault_plan(env),
                 kind_from_env=kind is not None,
+            ),
+            partitioning=PartitioningConfig(
+                kind=partitioner_kind,
+                kind_from_env=partitioner_kind is not None,
             ),
             checkpoint=CheckpointConfig(
                 every=_env_int(env, "REPRO_CHECKPOINT_EVERY", minimum=0),
@@ -331,8 +396,8 @@ class EngineConfig:
                 group_overrides.setdefault(group, {})[fld] = value
         replacements: dict[str, Any] = dict(top_overrides)
         for group, fields in group_overrides.items():
-            if group == "executor" and "kind" in fields:
-                # An explicit executor choice is never env-sourced.
+            if group in ("executor", "partitioning") and "kind" in fields:
+                # An explicit kind choice is never env-sourced.
                 fields.setdefault("kind_from_env", False)
             replacements[group] = dataclasses.replace(
                 getattr(self, group), **fields

@@ -42,6 +42,7 @@ from repro.obs.events import EventStream
 from repro.obs.observers import JsonlTraceWriter
 from repro.runtime.cluster import SimulatedCluster
 from repro.runtime.metrics import RunMetrics
+from repro.runtime.partitioner import build_partitioner, partitioner_fingerprint
 
 from .combiner import coalesce_messages
 from .config import EngineConfig
@@ -484,6 +485,22 @@ class IntervalCentricEngine:
         self.graph = graph
         self.program = program
         self.cluster = cluster or SimulatedCluster()
+        partitioning = config.partitioning
+        if partitioning.kind is not None and not (
+            partitioning.kind_from_env
+            and getattr(self.cluster, "partitioner_explicit", False)
+        ):
+            # A configured kind replaces the cluster's partitioner — except
+            # when the kind came from REPRO_PARTITIONER and the caller
+            # installed one on the cluster explicitly (a sweep-wide env
+            # default must not override an explicit placement).
+            self.cluster.partitioner = build_partitioner(
+                partitioning.kind,
+                self.cluster.num_workers,
+                graph,
+                seed=partitioning.seed,
+                capacity_slack=partitioning.capacity_slack,
+            )
         self.graph_name = graph_name
         # Mirror attributes: the flat names the rest of the stack (and the
         # checkpoint config fingerprint — its payload must stay byte-stable
@@ -638,8 +655,21 @@ class IntervalCentricEngine:
         if checkpointing or resume_from is not None:
             config_hash = config_fingerprint(self)
 
+        current_partitioner = partitioner_fingerprint(self.cluster.partitioner)
+
         def _load_validated(path) -> Any:
             ckpt = load_checkpoint(path, coalesce=self.coalesce_states)
+            # Checked before the opaque config hash: a partitioner swap is
+            # the one mismatch a user can read and act on directly, and a
+            # resume under a different vertex→worker map would silently
+            # scramble shard ownership.
+            if ckpt.partitioner and ckpt.partitioner != current_partitioner:
+                raise CheckpointError(
+                    f"checkpoint {ckpt.path} was written under partitioner "
+                    f"{ckpt.partitioner} but this engine runs under "
+                    f"{current_partitioner}; refusing to resume across a "
+                    "different vertex-to-worker assignment"
+                )
             if ckpt.config_hash != config_hash:
                 raise CheckpointError(
                     f"checkpoint {ckpt.path} was written by a different "
@@ -663,6 +693,10 @@ class IntervalCentricEngine:
         # The event stream restarts its sequence for every run(); it keeps
         # counting across recovery attempts, so a replayed superstep appears
         # again in the trace (logically identical, new wall facts).
+        # Placement quality is a pure function of graph + partitioner, so
+        # one pass here serves the run_start event and the metric gauges
+        # identically under both executors.
+        self._partition_stats = self.cluster.partition_stats(self.graph)
         events = EventStream(self._observers) if self._observers else None
         self._events = events
         if events is not None:
@@ -673,6 +707,10 @@ class IntervalCentricEngine:
                     "graph": self.graph_name,
                     "platform": "GRAPHITE",
                     "resumed_from": resume_ckpt.superstep if resume_ckpt else None,
+                    "partitioner": current_partitioner,
+                    "partition_edge_cut": self._partition_stats["edge_cut"],
+                    "worker_vertex_load": list(self._partition_stats["vertex_load"]),
+                    "worker_edge_load": list(self._partition_stats["edge_load"]),
                 },
                 wall={"executor": executor.name},
             )
@@ -778,6 +816,10 @@ class IntervalCentricEngine:
             metrics.algorithm = metrics.algorithm or self.program.name
             metrics.graph = metrics.graph or self.graph_name
         self._metrics = metrics
+        stats = getattr(self, "_partition_stats", None)
+        if stats is not None:
+            metrics.partition_edge_cut = stats["edge_cut"]
+            metrics.partition_imbalance = stats["imbalance"]
         self.cluster.reset()
         self._next_aggregates = {}
 
@@ -870,6 +912,7 @@ class IntervalCentricEngine:
                         config_hash=config_hash,
                         num_workers=self.cluster.num_workers,
                         worker_of=self.cluster.worker_of,
+                        partitioner=partitioner_fingerprint(self.cluster.partitioner),
                     )
                     recovery.checkpoints_written += 1
                     recovery.checkpoint_bytes += info.bytes_written

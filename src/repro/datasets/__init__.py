@@ -7,6 +7,7 @@ from .synthetic import (
     TRAVEL_TIME,
     gplus,
     load_surrogate,
+    locality,
     mag,
     reddit,
     twitter,
@@ -26,6 +27,7 @@ __all__ = [
     "mag",
     "twitter",
     "webuk",
+    "locality",
     "ldbc_graph",
     "TRAVEL_COST",
     "TRAVEL_TIME",

@@ -43,14 +43,17 @@ __all__ = [
     "validate_event",
 ]
 
-#: Current trace-record schema version.
-EVENT_SCHEMA_VERSION = 1
+#: Current trace-record schema version.  v2 added the partitioning facts
+#: to ``run_start`` (fingerprint, edge cut, per-worker loads).
+EVENT_SCHEMA_VERSION = 2
 
 #: Event type → required ``data`` keys.  ``superstep`` must be ``None``
 #: for the types in :data:`RUN_LEVEL_TYPES` and a positive int otherwise.
 EVENT_TYPES: Dict[str, Tuple[str, ...]] = {
     # run lifecycle
-    "run_start": ("algorithm", "graph", "platform", "resumed_from"),
+    "run_start": ("algorithm", "graph", "platform", "resumed_from",
+                  "partitioner", "partition_edge_cut",
+                  "worker_vertex_load", "worker_edge_load"),
     "run_end": ("supersteps", "compute_calls", "scatter_calls",
                 "messages_sent", "message_bytes", "modeled_makespan_s"),
     # superstep phases
@@ -73,7 +76,8 @@ _RECORD_KEYS = frozenset({"v", "seq", "type", "superstep", "data", "wall"})
 
 
 def validate_event(record: Any) -> None:
-    """Raise ``ValueError`` unless ``record`` is a valid v1 trace record."""
+    """Raise ``ValueError`` unless ``record`` is a valid current-version
+    trace record."""
     if not isinstance(record, dict):
         raise ValueError(f"trace record must be a dict, got {type(record).__name__}")
     keys = set(record)
@@ -119,7 +123,8 @@ def logical_view(record: Dict[str, Any]) -> Tuple[str, Optional[int], Tuple]:
 
     Drops ``seq`` (identical anyway when sequences match) and all of
     ``wall``; ``data`` is flattened to a sorted item tuple so the result
-    is hashable and order-insensitive to JSON key order.
+    is order-insensitive to JSON key order (and hashable for the all-scalar
+    event types; ``run_start`` carries load *lists* and is not).
     """
     return (
         record["type"],

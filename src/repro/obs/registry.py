@@ -153,6 +153,17 @@ RUN_METRICS = MetricRegistry(
         MetricSpec("modeled_makespan", "float", "time", "seconds",
                    "modeled cluster makespan (max compute + transfer + "
                    "barrier per superstep)"),
+        MetricSpec("local_message_bytes", "int", "counter", "bytes",
+                   "wire-encoded payload of messages staying within a "
+                   "worker partition"),
+        MetricSpec("remote_message_bytes", "int", "counter", "bytes",
+                   "wire-encoded payload crossing worker partitions (the "
+                   "barrier-exchange traffic partitioning exists to cut)"),
+        MetricSpec("partition_edge_cut", "float", "gauge", "fraction",
+                   "fraction of graph edges whose endpoints live on "
+                   "different workers"),
+        MetricSpec("partition_imbalance", "float", "gauge", "ratio",
+                   "max per-worker vertex load over the even-split ideal"),
     ),
 )
 

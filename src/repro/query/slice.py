@@ -58,13 +58,14 @@ def edge_subgraph(
     out = TemporalGraph()
     for v in graph.vertices():
         nv = TemporalVertex(v.vid, v.lifespan)
-        nv.properties = v.properties
+        _clone_properties(v.properties, nv.properties)
         out._add_vertex(nv)
     for e in graph.edges():
         if predicate(e):
             ne = TemporalEdge(e.eid, e.src, e.dst, e.lifespan)
-            ne.properties = e.properties
+            _clone_properties(e.properties, ne.properties)
             out._add_edge(ne)
+    out.validate()
     return out
 
 
@@ -72,17 +73,20 @@ def between(graph: TemporalGraph, vertex_ids: Iterable[Any]) -> TemporalGraph:
     """The subgraph induced by ``vertex_ids``."""
     keep = set(vertex_ids)
     out = TemporalGraph()
-    for vid in keep:
+    # Sorted, not set order: the result graph's vertex enumeration order
+    # feeds engine runs, so it must not vary with PYTHONHASHSEED.
+    for vid in sorted(keep, key=repr):
         if graph.has_vertex(vid):
             v = graph.vertex(vid)
             nv = TemporalVertex(v.vid, v.lifespan)
-            nv.properties = v.properties
+            _clone_properties(v.properties, nv.properties)
             out._add_vertex(nv)
     for e in graph.edges():
         if e.src in keep and e.dst in keep:
             ne = TemporalEdge(e.eid, e.src, e.dst, e.lifespan)
-            ne.properties = e.properties
+            _clone_properties(e.properties, ne.properties)
             out._add_edge(ne)
+    out.validate()
     return out
 
 
@@ -92,3 +96,11 @@ def _copy_properties(src, dst, window: Interval) -> None:
             common = iv.intersect(window)
             if common is not None:
                 dst.add(label, common, value)
+
+
+def _clone_properties(src, dst) -> None:
+    # Deep-copy into the entity's own property map: sharing the source's
+    # object would let a subgraph mutation corrupt the original graph.
+    for label in src:
+        for iv, value in src.timeline(label):
+            dst.add(label, iv, value)

@@ -68,6 +68,7 @@ from .encoding import (
     encode_varint,
 )
 from .metrics import RunMetrics, SuperstepMetrics
+from .partitioner import partitioner_fingerprint
 
 __all__ = [
     "CHECKPOINT_FORMAT",
@@ -151,6 +152,9 @@ class LoadedCheckpoint:
     carried_reductions: int
     aggregates: dict[str, Any]
     metrics: dict[str, Any] = field(default_factory=dict)
+    #: Fingerprint of the partitioner the writer ran under ("" in
+    #: manifests predating the partitioning subsystem).
+    partitioner: str = ""
 
 
 # -- shard codec ---------------------------------------------------------------
@@ -340,7 +344,10 @@ def config_fingerprint(engine) -> str:
         "num_vertices": graph.num_vertices,
         "num_edges": graph.num_edges,
         "num_workers": cluster.num_workers,
-        "partitioner": repr(cluster.partitioner),
+        # The fingerprint covers the actual vertex→worker assignment;
+        # ``repr`` elided greedy's seed/slack and collided across
+        # placements that shard state differently.
+        "partitioner": partitioner_fingerprint(cluster.partitioner),
         "varint_encoding": cluster.varint_encoding,
         "model_network": cluster.model_network,
         "network": dataclasses.asdict(cluster.network),
@@ -375,6 +382,7 @@ def write_checkpoint(
     config_hash: str,
     num_workers: int,
     worker_of: Callable[[Any], int],
+    partitioner: str = "",
 ) -> CheckpointInfo:
     """Write one barrier's state under ``root`` atomically.
 
@@ -425,6 +433,7 @@ def write_checkpoint(
         "format": CHECKPOINT_FORMAT,
         "superstep": superstep,
         "config_hash": config_hash,
+        "partitioner": partitioner,
         "algorithm": metrics.algorithm,
         "graph": metrics.graph,
         "num_workers": num_workers,
@@ -564,4 +573,5 @@ def load_checkpoint(
         carried_reductions=manifest.get("carried_reductions", 0),
         aggregates=aggregates,
         metrics=manifest.get("metrics", {}),
+        partitioner=manifest.get("partitioner", ""),
     )

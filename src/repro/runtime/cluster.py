@@ -65,6 +65,10 @@ class SimulatedCluster:
     ):
         self.num_workers = num_workers
         self.partitioner = partitioner or HashPartitioner(num_workers)
+        #: Whether the caller placed the partitioner explicitly.  An
+        #: env-sourced ``REPRO_PARTITIONER`` yields to an explicit choice;
+        #: an explicit ``PartitioningConfig(kind=...)`` does not.
+        self.partitioner_explicit = partitioner is not None
         self.network = network or NetworkModel()
         self.compute_model = compute_model or ComputeModel()
         self.varint_encoding = varint_encoding
@@ -85,6 +89,36 @@ class SimulatedCluster:
         for vid in vids:
             load[self.worker_of(vid)] += 1
         return load
+
+    def partition_stats(self, graph) -> dict[str, Any]:
+        """Placement-quality summary for ``graph`` under this partitioner.
+
+        ``edge_cut`` is the fraction of edges crossing workers, the
+        Sec. VII-A4 locality quantity; ``edge_load`` counts each cut edge
+        on both endpoint workers (it costs both sides a barrier exchange);
+        ``imbalance`` is max vertex load over the even-split ideal, 1.0
+        for a perfectly balanced (or empty) placement.
+        """
+        vertex_load = [0] * self.num_workers
+        for vid in graph.vertex_ids():
+            vertex_load[self.worker_of(vid)] += 1
+        edge_load = [0] * self.num_workers
+        total = cut = 0
+        for e in graph.edges():
+            total += 1
+            src_w, dst_w = self.worker_of(e.src), self.worker_of(e.dst)
+            edge_load[src_w] += 1
+            if src_w != dst_w:
+                cut += 1
+                edge_load[dst_w] += 1
+        num_vertices = sum(vertex_load)
+        ideal = num_vertices / self.num_workers
+        return {
+            "edge_cut": cut / total if total else 0.0,
+            "vertex_load": vertex_load,
+            "edge_load": edge_load,
+            "imbalance": max(vertex_load) / ideal if num_vertices else 1.0,
+        }
 
     # -- superstep lifecycle ---------------------------------------------------
 
@@ -133,8 +167,10 @@ class SimulatedCluster:
         metrics.message_bytes += size
         if self.worker_of(src_vid) == self.worker_of(dst_vid):
             metrics.local_messages += 1
+            metrics.local_message_bytes += size
         else:
             metrics.remote_messages += 1
+            metrics.remote_message_bytes += size
             step.bytes += size
         step.messages += 1
         self._pending.setdefault(dst_vid, []).append(msg)
@@ -186,6 +222,8 @@ class SimulatedCluster:
         metrics.remote_messages += remote
         if self.model_network:
             metrics.message_bytes += bytes_total
+            metrics.remote_message_bytes += bytes_remote
+            metrics.local_message_bytes += bytes_total - bytes_remote
             step.bytes += bytes_remote
         step.messages += app + system
 

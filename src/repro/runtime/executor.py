@@ -11,8 +11,12 @@ superstep to an executor:
   partitions (shared-nothing — no state is shared after fork), runs its
   actives concurrently with the other processes, and exchanges cross-process
   messages at the BSP barrier as varint-encoded routed batches
-  (`repro.runtime.encoding`), applying the program's combiner worker-locally
-  before encoding.  Worker-local messages never leave the process.
+  (`repro.runtime.encoding`).  Worker-local messages never leave the
+  process.  Batches cross the wire *uncombined*: receiver combining
+  happens only in the receiving vertex's processor, exactly where the
+  serial executor performs it, so the modeled receiver-pass cost (one
+  message-scan per raw inbox message) folds bitwise-identically whichever
+  partitioner routed the messages.
 
 Determinism: both executors process active vertices in the canonical global
 vertex order (graph enumeration order, ``engine._seq``), every message
@@ -259,43 +263,6 @@ class _ShardPayload:
     processor_args: dict[str, Any] = field(default_factory=dict)
 
 
-def _precombine_entries(entries, combiner, known_vids):
-    """Worker-local receiver combining before wire encoding.
-
-    Folds same-destination, identical-interval messages with the program's
-    *selective* combiner (min/max/or — folds that pick one operand, so
-    staging the fold per-worker leaves the receiver's final fold unchanged).
-    Messages to vertices outside the graph are passed through untouched:
-    the serial receiver never combines them (the vertex is never processed),
-    so pre-combining them would distort the reduction counts.
-
-    Returns ``(entries, reductions)``; the reduction count travels with the
-    batch and is credited to the *receiving* superstep's metrics, which is
-    when the serial executor would have performed the same folds.
-    """
-    out = []
-    index: dict[tuple[Any, Interval], int] = {}
-    reductions = 0
-    for seq, dst, msg in entries:
-        if dst not in known_vids:
-            out.append((seq, dst, msg))
-            continue
-        key = (dst, msg.interval)
-        pos = index.get(key)
-        if pos is None:
-            index[key] = len(out)
-            out.append((seq, dst, msg))
-        else:
-            first_seq, _, acc = out[pos]
-            out[pos] = (
-                first_seq,
-                dst,
-                IntervalMessage(acc.interval, combiner(acc.value, msg.value)),
-            )
-            reductions += 1
-    return out, reductions
-
-
 class _WorkerRuntime:
     """One worker process's world: its contexts, inbox, and send routing.
 
@@ -436,21 +403,16 @@ class _WorkerRuntime:
             shard_compute[shard] = shard_compute.get(shard, 0.0) + cost
         wall = time.perf_counter() - t0
 
-        combiner = self.program.combiner
-        precombine = (
-            combiner is not None
-            and combiner.selective
-            and processor.enable_receiver_combiner
-        )
+        # Batches go out raw — never pre-combined.  Folding at the sender
+        # would shrink the receiver's inbox, and the receiver pass charges
+        # one modeled message-scan per *raw* inbox message: under an
+        # unbalanced (greedy) placement the serial and parallel modeled
+        # compute times would then diverge.  The zero reduction count is
+        # kept in the tuple for wire/checkpoint compatibility.
         t_wire = time.perf_counter()
         out: dict[int, tuple[bytes, int]] = {}
         for dest, out_entries in self._out.items():
-            reductions = 0
-            if precombine and len(out_entries) > 1:
-                out_entries, reductions = _precombine_entries(
-                    out_entries, combiner, self.seq
-                )
-            out[dest] = (encode_routed_batch(out_entries), reductions)
+            out[dest] = (encode_routed_batch(out_entries), 0)
         wire_s += time.perf_counter() - t_wire
 
         if self.model_network:

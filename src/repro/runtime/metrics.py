@@ -94,6 +94,10 @@ class RunMetrics:
     message_bytes: int = 0
     local_messages: int = 0
     remote_messages: int = 0
+    local_message_bytes: int = 0
+    #: The barrier-exchange traffic partitioning exists to cut
+    #: (Sec. VII-A4 locality).
+    remote_message_bytes: int = 0
     #: Replica state-transfer traffic (TGB chain edges) counted separately,
     #: mirroring the paper's "special messages" discussion.
     system_messages: int = 0
@@ -123,6 +127,10 @@ class RunMetrics:
     modeled_makespan: float = 0.0
 
     peak_inflight_messages: int = 0
+    #: Placement quality of the partitioner this run executed under
+    #: (gauges, not counters: multi-snapshot merges keep the worst case).
+    partition_edge_cut: float = 0.0
+    partition_imbalance: float = 0.0
     supersteps_detail: list[SuperstepMetrics] = field(default_factory=list)
     #: Checkpoint/recovery costs (`repro.runtime.checkpoint` / `.faults`).
     recovery: RecoveryMetrics = field(default_factory=RecoveryMetrics)
@@ -136,6 +144,8 @@ class RunMetrics:
         self.message_bytes += other.message_bytes
         self.local_messages += other.local_messages
         self.remote_messages += other.remote_messages
+        self.local_message_bytes += other.local_message_bytes
+        self.remote_message_bytes += other.remote_message_bytes
         self.system_messages += other.system_messages
         self.supersteps += other.supersteps
         self.warp_calls += other.warp_calls
@@ -154,6 +164,12 @@ class RunMetrics:
         self.modeled_makespan += other.modeled_makespan
         self.peak_inflight_messages = max(
             self.peak_inflight_messages, other.peak_inflight_messages
+        )
+        self.partition_edge_cut = max(
+            self.partition_edge_cut, other.partition_edge_cut
+        )
+        self.partition_imbalance = max(
+            self.partition_imbalance, other.partition_imbalance
         )
         self.supersteps_detail.extend(other.supersteps_detail)
         self.recovery.merge(other.recovery)

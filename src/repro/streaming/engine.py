@@ -68,6 +68,9 @@ class StreamingIntervalEngine:
         #: Observability shared by every refresh: a trace path accumulates
         #: one ``run_start``-delimited segment per compute().
         self.observe = observe
+        # Validate eagerly: a typo'd option otherwise only surfaces when
+        # compute() builds its engine — possibly many appends later.
+        (config or EngineConfig()).with_options(**engine_options)
         self.engine_options = engine_options
         self.graph = TemporalGraph()
         self._eids = itertools.count()

@@ -68,6 +68,70 @@ class TestSubgraphs:
         g = between(evolving(), ["A", "C"])
         assert [e.eid for e in g.edges()] == ["ac"]
 
+    def test_edge_subgraph_does_not_alias_properties(self):
+        # Regression: the subgraph used to share PropertyMap objects with
+        # the source graph, so mutating one corrupted the other.
+        src = evolving()
+        sub = edge_subgraph(src, lambda e: True)
+        sub.edge("ab").properties.add("w", Interval(6, 9), 7)
+        assert src.edge("ab").properties.timeline("w").value_at(6) is None
+        sub.vertex("A").properties.add("tag", Interval(0, 5), "x")
+        assert "tag" not in list(src.vertex("A").properties)
+
+    def test_between_does_not_alias_properties(self):
+        src = evolving()
+        sub = between(src, ["A", "B"])
+        sub.edge("ab").properties.add("w", Interval(6, 9), 7)
+        assert src.edge("ab").properties.timeline("w").value_at(6) is None
+
+    def test_subgraph_properties_preserved(self):
+        sub = edge_subgraph(evolving(), lambda e: e.eid == "ab")
+        assert sub.edge("ab").properties.timeline("w").entries() == \
+               evolving().edge("ab").properties.timeline("w").entries()
+
+    def test_between_vertex_order_is_canonical(self):
+        # Vertex enumeration order feeds engine runs; it must come from
+        # sorted ids, not from set iteration order.
+        g = between(evolving(), ["C", "A", "B"])
+        assert list(g.vertex_ids()) == ["A", "B", "C"]
+
+    def test_between_order_stable_across_hash_seeds(self):
+        """The induced subgraph enumerates identically under any hash salt."""
+        import os
+        import subprocess
+        import sys
+        import textwrap
+
+        script = textwrap.dedent(
+            """
+            from repro.graph.builder import TemporalGraphBuilder
+            from repro.query import between
+
+            b = TemporalGraphBuilder()
+            ids = [f"n{i}" for i in range(40)]
+            for vid in ids:
+                b.add_vertex(vid, 0, 4)
+            for i in range(39):
+                b.add_edge(ids[i], ids[i + 1], 0, 4)
+            g = between(b.build(), ids[::-1])
+            print(list(g.vertex_ids()))
+            """
+        )
+        outputs = []
+        for hash_seed in ("0", "777"):
+            src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in (env.get("PYTHONPATH"), os.path.abspath(src)) if p
+            )
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            outputs.append(proc.stdout)
+        assert outputs[0] == outputs[1]
+        assert "n0" in outputs[0]
+
 
 class TestGraphAnalytics:
     def test_degree_timeline(self):

@@ -2,10 +2,24 @@
 
 import pytest
 
+from repro import api
+from repro.algorithms.td.sssp import TemporalSSSP
+from repro.core.config import _PARTITIONER_KINDS, EngineConfig
+from repro.core.engine import IntervalCentricEngine
 from repro.core.messages import message
+from repro.datasets import transit_graph
+from repro.obs.observers import InMemoryEvents
+from repro.runtime.checkpoint import CheckpointError
 from repro.runtime.cluster import SimulatedCluster
 from repro.runtime.metrics import NetworkModel, RunMetrics
-from repro.runtime.partitioner import HashPartitioner, RangePartitioner
+from repro.runtime.partitioner import (
+    PARTITIONER_KINDS,
+    GreedyEdgeCutPartitioner,
+    HashPartitioner,
+    RangePartitioner,
+    build_partitioner,
+    partitioner_fingerprint,
+)
 
 
 class TestHashPartitioner:
@@ -41,6 +55,160 @@ class TestRangePartitioner:
         p = RangePartitioner(2, ["a"])
         with pytest.raises(KeyError):
             p.worker_of("zzz")
+
+
+class TestPartitionerSelection:
+    def test_config_kinds_match_runtime_kinds(self):
+        # config.py duplicates the tuple to stay import-cycle-free; this
+        # pin is the promise referenced next to that duplicate.
+        assert _PARTITIONER_KINDS == PARTITIONER_KINDS
+
+    def test_build_partitioner_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown partitioner kind"):
+            build_partitioner("metis", 4, transit_graph())
+
+    def test_every_kind_builds_and_fingerprints(self):
+        g = transit_graph()
+        seen = set()
+        for kind in PARTITIONER_KINDS:
+            p = build_partitioner(kind, 3, g)
+            assert p.kind == kind
+            assert p.num_workers == 3
+            fp = partitioner_fingerprint(p)
+            assert fp and fp not in seen
+            seen.add(fp)
+
+    def test_fingerprint_falls_back_to_repr(self):
+        class Foreign:
+            def worker_of(self, vid):
+                return 0
+
+            def __repr__(self):
+                return "Foreign()"
+
+        assert partitioner_fingerprint(Foreign()) == "Foreign()"
+
+    def test_config_kind_installs_partitioner(self):
+        g = transit_graph()
+        engine = api.build_engine(
+            g, TemporalSSSP("A"), cluster=SimulatedCluster(4),
+            options={"partitioner": "greedy"},
+        )
+        assert engine.cluster.partitioner.kind == "greedy"
+
+    def test_explicit_cluster_partitioner_beats_env_kind(self):
+        # REPRO_PARTITIONER is a sweep-wide default; a partitioner the
+        # caller installed on the cluster must survive it.
+        g = transit_graph()
+        mine = RangePartitioner(4, g.vertex_ids())
+        config = EngineConfig.from_env({"REPRO_PARTITIONER": "greedy"})
+        engine = IntervalCentricEngine(
+            g, TemporalSSSP("A"),
+            cluster=SimulatedCluster(4, partitioner=mine), config=config,
+        )
+        assert engine.cluster.partitioner is mine
+
+    def test_env_kind_applies_to_default_cluster(self):
+        config = EngineConfig.from_env({"REPRO_PARTITIONER": "range"})
+        engine = IntervalCentricEngine(
+            transit_graph(), TemporalSSSP("A"),
+            cluster=SimulatedCluster(4), config=config,
+        )
+        assert engine.cluster.partitioner.kind == "range"
+
+    def test_explicit_config_kind_beats_cluster_partitioner(self):
+        g = transit_graph()
+        engine = api.build_engine(
+            g, TemporalSSSP("A"),
+            cluster=SimulatedCluster(4, partitioner=HashPartitioner(4, seed=9)),
+            options={"partitioner": "greedy"},
+        )
+        assert engine.cluster.partitioner.kind == "greedy"
+
+
+class TestPartitionObservability:
+    def test_partition_stats_shape(self):
+        g = transit_graph()
+        cluster = SimulatedCluster(3)
+        stats = cluster.partition_stats(g)
+        assert sum(stats["vertex_load"]) == g.num_vertices
+        assert 0.0 <= stats["edge_cut"] <= 1.0
+        assert stats["imbalance"] >= 1.0
+        # Cut edges are billed to both endpoint workers.
+        n_edges = sum(1 for _ in g.edges())
+        cut_edges = round(stats["edge_cut"] * n_edges)
+        assert sum(stats["edge_load"]) == n_edges + cut_edges
+
+    def test_partition_stats_single_worker(self):
+        stats = SimulatedCluster(1).partition_stats(transit_graph())
+        assert stats["edge_cut"] == 0.0
+        assert stats["imbalance"] == 1.0
+
+    def test_run_reports_partition_metrics_and_events(self):
+        events = InMemoryEvents()
+        result = api.run(
+            transit_graph(), TemporalSSSP("A"),
+            cluster=SimulatedCluster(4),
+            options={"partitioner": "greedy", "checkpoint_every": 0},
+            observe=events,
+        )
+        metrics = result.metrics
+        assert metrics.partition_edge_cut > 0.0
+        assert metrics.partition_imbalance >= 1.0
+        assert (
+            metrics.local_message_bytes + metrics.remote_message_bytes
+            == metrics.message_bytes
+        )
+        start = events.of_type("run_start")[0]["data"]
+        assert start["partitioner"].startswith("greedy:")
+        assert sum(start["worker_vertex_load"]) == transit_graph().num_vertices
+        assert start["partition_edge_cut"] == metrics.partition_edge_cut
+
+
+class TestCheckpointPartitionerGuard:
+    def test_resume_under_different_partitioner_refused(self, tmp_path):
+        g = transit_graph()
+        api.run(
+            g, TemporalSSSP("A"), cluster=SimulatedCluster(4),
+            options={
+                "partitioner": "hash",
+                "checkpoint_every": 1,
+                "checkpoint_dir": str(tmp_path),
+            },
+        )
+        with pytest.raises(CheckpointError) as err:
+            api.run(
+                g, TemporalSSSP("A"), cluster=SimulatedCluster(4),
+                options={
+                    "partitioner": "greedy",
+                    "checkpoint_every": 0,
+                },
+                resume_from=str(tmp_path),
+            )
+        # The refusal must name both placements so the operator can see
+        # exactly which assignment the checkpoint was sharded under.
+        message = str(err.value)
+        assert "hash:w=4" in message
+        assert partitioner_fingerprint(
+            GreedyEdgeCutPartitioner(4, g)
+        ) in message
+
+    def test_resume_under_same_partitioner_succeeds(self, tmp_path):
+        g = transit_graph()
+        options = {
+            "partitioner": "greedy",
+            "checkpoint_every": 1,
+            "checkpoint_dir": str(tmp_path),
+        }
+        full = api.run(g, TemporalSSSP("A"),
+                       cluster=SimulatedCluster(4), options=options)
+        resumed = api.run(
+            g, TemporalSSSP("A"), cluster=SimulatedCluster(4),
+            options={"partitioner": "greedy", "checkpoint_every": 0},
+            resume_from=str(tmp_path),
+        )
+        assert {v: list(s) for v, s in full.states.items()} == \
+               {v: list(s) for v, s in resumed.states.items()}
 
 
 class TestSimulatedCluster:

@@ -24,6 +24,7 @@ from repro.runtime.executor import (
     SerialExecutor,
     resolve_executor,
 )
+from repro.runtime.partitioner import PARTITIONER_KINDS
 
 PARALLEL = {"executor": "parallel", "executor_processes": 2}
 
@@ -82,6 +83,24 @@ def test_parallel_matches_serial(algorithm):
     assert serial_events.records, "runs must emit events when observed"
     if not os.environ.get("REPRO_FAULT_PLAN"):
         assert serial_events.logical() == parallel_events.logical()
+
+
+@pytest.mark.parametrize("algorithm", ("BFS", "SSSP", "PR"))
+@pytest.mark.parametrize("partitioner", PARTITIONER_KINDS)
+def test_parallel_matches_serial_under_every_partitioner(algorithm, partitioner):
+    """Placement moves messages between workers, never changes results.
+
+    The executors must stay bit-identical whichever partitioner shards the
+    graph — including the greedy ones, whose shard sizes are deliberately
+    uneven — and both must agree on the byte-level locality split.
+    """
+    serial = _run(algorithm, executor="serial", partitioner=partitioner)
+    parallel = _run(algorithm, partitioner=partitioner, **PARALLEL)
+
+    assert _partitions(serial.result) == _partitions(parallel.result)
+    for fld in EXACT_FIELDS + ("local_message_bytes", "remote_message_bytes"):
+        assert getattr(serial.metrics, fld) == getattr(parallel.metrics, fld), fld
+    assert serial.metrics.partition_edge_cut == parallel.metrics.partition_edge_cut
 
 
 def test_executor_recorded_in_metrics():

@@ -51,6 +51,19 @@ class TestBasics:
         with pytest.raises(ValueError, match="constraint 2"):
             stream.add_edge("a", "a", 0, 9)
 
+    def test_engine_options_validated_at_construction(self):
+        # Regression: a typo'd option used to surface only when compute()
+        # built its engine — possibly many appends later.
+        with pytest.raises(TypeError, match="unknown engine option"):
+            StreamingIntervalEngine(TemporalSSSP("a"), chekpoint_every=3)
+        with pytest.raises(ValueError, match="partitioner kind"):
+            StreamingIntervalEngine(TemporalSSSP("a"), partitioner="metis")
+
+    def test_valid_engine_options_accepted(self):
+        stream = StreamingIntervalEngine(TemporalSSSP("a"), checkpoint_every=0)
+        stream.add_vertex("a", 0, HORIZON)
+        assert stream.compute().value_at("a", 1) == 0
+
     def test_pending_updates_counter(self):
         stream = StreamingIntervalEngine(TemporalSSSP("a"))
         stream.add_vertex("a", 0, HORIZON)

@@ -123,6 +123,7 @@ def test_from_env_reads_all_knobs():
         "REPRO_CHECKPOINT_EVERY": "2",
         "REPRO_CHECKPOINT_DIR": "/tmp/ckpt",
         "REPRO_FAULT_PLAN": "seed:7",
+        "REPRO_PARTITIONER": "interval_greedy",
     }
     config = EngineConfig.from_env(env)
     assert config.executor.kind == "parallel"
@@ -131,6 +132,8 @@ def test_from_env_reads_all_knobs():
     assert config.executor.fault_plan == "seed:7"
     assert config.checkpoint.every == 2
     assert config.checkpoint.dir == "/tmp/ckpt"
+    assert config.partitioning.kind == "interval_greedy"
+    assert config.partitioning.kind_from_env is True
 
 
 def test_from_env_validates_eagerly():
@@ -140,6 +143,8 @@ def test_from_env_validates_eagerly():
         EngineConfig.from_env({"REPRO_EXECUTOR": "threads"})
     with pytest.raises(ValueError, match="fault plan|REPRO_FAULT_PLAN"):
         EngineConfig.from_env({"REPRO_FAULT_PLAN": "nonsense"})
+    with pytest.raises(ValueError, match="REPRO_PARTITIONER='metis'"):
+        EngineConfig.from_env({"REPRO_PARTITIONER": "metis"})
 
 
 def test_explicit_executor_clears_env_provenance():
@@ -147,6 +152,25 @@ def test_explicit_executor_clears_env_provenance():
     assert config.executor.kind_from_env is True
     overridden = config.with_options(executor="parallel")
     assert overridden.executor.kind_from_env is False
+
+
+def test_explicit_partitioner_clears_env_provenance():
+    config = EngineConfig.from_env({"REPRO_PARTITIONER": "greedy"})
+    assert config.partitioning.kind_from_env is True
+    overridden = config.with_options(partitioner="greedy")
+    assert overridden.partitioning.kind_from_env is False
+    assert overridden.partitioning.kind == "greedy"
+
+
+def test_partitioner_options_map_to_config():
+    config = EngineConfig().with_options(
+        partitioner="range", partitioner_seed=3, partitioner_slack=1.25
+    )
+    assert config.partitioning.kind == "range"
+    assert config.partitioning.seed == 3
+    assert config.partitioning.capacity_slack == 1.25
+    with pytest.raises(ValueError, match="capacity_slack"):
+        EngineConfig().with_options(partitioner_slack=0.5)
 
 
 # -- observability vs checkpoint fingerprint -----------------------------------

@@ -14,6 +14,7 @@ import pytest
 
 DESIGN = Path(__file__).resolve().parent.parent / "DESIGN.md"
 README = Path(__file__).resolve().parent.parent / "README.md"
+PAPER = Path(__file__).resolve().parent.parent / "PAPER.md"
 SYMBOL = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
 
 
@@ -65,3 +66,17 @@ def test_readme_symbol_resolves(dotted):
         resolve(dotted)
     except (ImportError, AttributeError) as exc:
         pytest.fail(f"README.md references {dotted!r} which does not resolve: {exc}")
+
+
+@pytest.mark.parametrize("doc", [DESIGN, README, PAPER], ids=lambda p: p.name)
+def test_engine_class_name_never_misspelled(doc):
+    """Every ``*CentricEngine`` mention is the real class name.
+
+    The SYMBOL regex only audits dotted ``repro.*`` paths, so a bare
+    backticked ``IneravalCentricEngine`` (the typo PAPER.md shipped with)
+    sailed past it.  Flag any variant spelling of the engine class.
+    """
+    for match in re.finditer(r"\b\w*CentricEngine\b", doc.read_text(encoding="utf-8")):
+        assert match.group() == "IntervalCentricEngine", (
+            f"{doc.name} misspells the engine class as {match.group()!r}"
+        )
