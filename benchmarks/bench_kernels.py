@@ -13,12 +13,16 @@ Times the engine's four hot kernels on synthetic workloads —
                     time normalised by a pure-Python calibration loop so
                     the number is comparable across machines);
 * **engine**      — a full interval-centric run (~10k messages) under the
-                    parallel executor against the serial executor, after
-                    asserting both return identical states.  The speedup
-                    depends on physical cores, so the result records the
-                    core count: the acceptance floor only binds on ≥4-core
-                    machines, and baseline comparisons are skipped when the
-                    baseline came from a different core count;
+                    parallel executor (peer-to-peer exchange topology)
+                    against the serial executor, after asserting both
+                    return identical states.  The speedup depends on
+                    physical cores, so the result records the core count:
+                    the acceptance floor only binds on ≥4-core machines,
+                    and baseline comparisons are *refused out loud* when
+                    the baseline came from a different core count.  A
+                    committed baseline that predates the peer data plane
+                    (no ``exchange`` key) must additionally be beaten
+                    ≥1.25× wall-clock on a comparable ≥4-core host;
 * **checkpoint**  — the same engine workload with barrier checkpointing
                     (``checkpoint_every=4``) against the plain run, after
                     asserting identical states.  The gated metric is the
@@ -39,6 +43,13 @@ Times the engine's four hot kernels on synthetic workloads —
                     remote-barrier-byte ratio hash/greedy (a "speedup":
                     higher is better, hardware-independent); both greedy
                     variants must cut remote bytes ≥30% vs hash.
+* **exchange**      — sender-side combining on the peer-to-peer barrier
+                    data plane: the min-combiner flood on the locality
+                    graph, combined vs uncombined wire.  Deterministic
+                    byte counts, no wall-clock; ``exchange_raw_bytes``
+                    (what an uncombined wire would carry) must be
+                    invariant, and the gated ratio uncombined/combined
+                    must show a ≥25% real-byte cut (floor 1.33×).
 
 Results are written to ``BENCH_kernels.json`` at the repository root: a
 committed **baseline** plus a bounded run **history**, so the repo carries
@@ -76,6 +87,7 @@ from repro import api  # noqa: E402
 from repro.core.interval import Interval  # noqa: E402
 from repro.core.messages import IntervalMessage  # noqa: E402
 from repro.core.program import IntervalProgram  # noqa: E402
+from repro.core.combiner import min_combiner  # noqa: E402
 from repro.core.state import PartitionedState  # noqa: E402
 from repro.core.warp import merge_join_partitioned, time_warp  # noqa: E402
 from repro.graph.builder import TemporalGraphBuilder  # noqa: E402
@@ -102,7 +114,15 @@ SPEEDUP_FLOOR = {
     "engine_parallel": 1.7,
     # ≥30% remote-byte reduction vs hash ⇒ hash/greedy ratio ≥ 1/0.7.
     "partition_quality": 1.43,
+    # ≥25% real-wire byte cut from sender-side combining ⇒ ratio ≥ 1/0.75.
+    # Deterministic byte counts (no "cores" key), so this binds on any host.
+    "exchange_bytes": 1.33,
 }  # acceptance bars
+#: One-shot wall-clock gate for the peer-exchange optimisation: while the
+#: committed ``engine_parallel`` baseline predates the peer data plane (its
+#: entry has no "exchange" key), a full run on a comparable ≥4-core host
+#: must beat the baseline ``opt_s`` by this factor before re-adoption.
+IMPROVEMENT_FLOOR = {"engine_parallel": 1.25}
 #: Hard ceiling on overhead-style metrics (instrumented / plain wall-clock).
 #: The checkpoint cadence of 4 must cost <15% on the 10k-message workload;
 #: full observability instrumentation must cost <10% on the same workload.
@@ -287,6 +307,26 @@ class _FloodMin(IntervalProgram):
         return [(interval, state)]
 
 
+class _FloodMinCombined(_FloodMin):
+    """The flood with a selective min combiner and full-lifespan messages.
+
+    Every sender process folds duplicate (destination, interval) pairs
+    before they reach the wire, making the combined/uncombined byte split
+    big enough to gate — ``_FloodMin``'s per-edge clipped intervals almost
+    never coincide, which would leave the sender-side combiner nothing to
+    fold and the bench vacuous.
+    """
+
+    name = "bench-flood-min"
+
+    def __init__(self, supersteps: int):
+        super().__init__(supersteps)
+        self.combiner = min_combiner()
+
+    def scatter(self, ctx, edge, interval, state):
+        return [(ctx.lifespan, state)]
+
+
 def _build_engine_workload(sizes):
     rng = random.Random(0xACE5)
     span = sizes["engine_span"]
@@ -309,9 +349,16 @@ def bench_engine_parallel(sizes, repeats):
     supersteps = sizes["engine_supersteps"]
 
     def run(executor, processes=None):
+        # The parallel run exercises the production data plane: peer
+        # topology (workers exchange batches directly, the master only
+        # sees barrier reports) with sender-side combining on.
         return api.run(
             graph, _FloodMin(supersteps), cluster=SimulatedCluster(shards),
-            options={"executor": executor, "executor_processes": processes},
+            options={
+                "executor": executor,
+                "executor_processes": processes,
+                "exchange": "peer",
+            },
         )
 
     serial = run("serial")
@@ -333,6 +380,7 @@ def bench_engine_parallel(sizes, repeats):
         "speedup": serial_s / parallel_s,
         "cores": cores,
         "processes": sizes["engine_procs"],
+        "exchange": "peer",
         "messages": serial.metrics.messages_sent,
     }
 
@@ -507,6 +555,67 @@ def bench_partition_quality(sizes):
     }
 
 
+def bench_exchange_bytes(sizes):
+    """Real wire bytes with sender-side combining on vs off (peer topology).
+
+    Runs the min-combiner flood on the ``locality`` surrogate under the
+    peer-to-peer exchange with combining enabled and disabled.  Everything
+    gated here is a deterministic byte count — no repeats, no wall-clock:
+    ``exchange_raw_bytes`` (the bytes an uncombined wire would carry, the
+    count-preserving invariant behind the charging discipline) must be
+    bit-identical across both runs, and the gated "speedup" is the
+    real-wire ratio uncombined/combined.  The 1.33× floor is the ≥25%
+    remote-byte cut the combining layer promises.
+    """
+    from repro.datasets.synthetic import locality
+
+    graph = locality(sizes["locality_scale"])
+    supersteps = sizes["engine_supersteps"]
+    workers = 4
+
+    def run(executor="parallel", combine=True):
+        return api.run(
+            graph, _FloodMinCombined(supersteps), cluster=SimulatedCluster(workers),
+            options={
+                "executor": executor,
+                "executor_processes": 2 if executor == "parallel" else None,
+                "exchange": "peer",
+                "exchange_combine": combine,
+                "checkpoint_every": 0,
+            },
+        )
+
+    def states_of(result):
+        return {v: list(s) for v, s in result.states.items()}
+
+    serial = run("serial")
+    combined = run()
+    plain = run(combine=False)
+    reference = states_of(serial)
+    assert states_of(combined) == reference, (
+        "combined peer run diverged from serial"
+    )
+    assert states_of(plain) == reference, (
+        "uncombined peer run diverged from serial"
+    )
+    assert combined.metrics.exchange_raw_bytes == plain.metrics.exchange_raw_bytes, (
+        "combining changed the raw (uncombined-equivalent) wire accounting"
+    )
+    modeled = RUN_METRICS.names(modeled=True)
+    assert all(
+        getattr(combined.metrics, f) == getattr(plain.metrics, f) for f in modeled
+    ), "sender-side combining perturbed the modeled metrics"
+
+    return {
+        "speedup": plain.metrics.exchange_bytes / combined.metrics.exchange_bytes,
+        "plain_bytes": plain.metrics.exchange_bytes,
+        "combined_bytes": combined.metrics.exchange_bytes,
+        "raw_bytes": combined.metrics.exchange_raw_bytes,
+        "workers": workers,
+        "processes": 2,
+    }
+
+
 # -- gate ----------------------------------------------------------------------
 
 
@@ -546,7 +655,34 @@ def check_regressions(results: dict, baseline: dict, mode: str) -> list[str]:
         if base.get("cores") is not None and base.get("cores") != result.get("cores"):
             # Parallel speedups track physical cores; a baseline from a
             # different machine shape says nothing about a regression here.
+            # Refuse the comparison out loud — a silently skipped gate reads
+            # as a pass it never was.
+            print(
+                f"  refusing {kernel} baseline comparison: baseline recorded "
+                f"on a {base['cores']}-core host, this host has "
+                f"{result.get('cores')} cores "
+                f"(rerun --update-baseline on this core class)"
+            )
             continue
+        gain_floor = IMPROVEMENT_FLOOR.get(kernel)
+        if (
+            gain_floor is not None
+            and mode == "full"
+            and "exchange" in result
+            and "exchange" not in base
+            and "opt_s" in base
+            and result.get("cores", 0) >= FLOOR_MIN_CORES
+        ):
+            # The committed baseline predates the peer exchange data plane
+            # (its entry carries no "exchange" key): the optimisation must
+            # demonstrably beat it on a comparable host before re-adoption.
+            gain = base["opt_s"] / result["opt_s"]
+            if gain < gain_floor:
+                failures.append(
+                    f"{kernel}: peer exchange only {gain:.2f}x faster than the "
+                    f"pre-peer baseline opt_s {base['opt_s'] * 1e3:.1f} ms "
+                    f"(need >={gain_floor:.2f}x)"
+                )
         ref = base[metric]
         pct = int(tolerance * 100)
         if higher_better:
@@ -604,10 +740,18 @@ def main(argv=None) -> int:
         ("observability_overhead",
          lambda: bench_observability_overhead(sizes, repeats)),
         ("partition_quality", lambda: bench_partition_quality(sizes)),
+        ("exchange_bytes", lambda: bench_exchange_bytes(sizes)),
     ):
         result = fn()
         results[name] = result
-        if "hash_remote_bytes" in result:
+        if "combined_bytes" in result:
+            print(
+                f"  {name:20s} plain {result['plain_bytes']:6d} B   "
+                f"combined {result['combined_bytes']:6d} B   "
+                f"raw {result['raw_bytes']:6d} B   "
+                f"ratio {result['speedup']:5.2f}x"
+            )
+        elif "hash_remote_bytes" in result:
             print(
                 f"  {name:20s} hash {result['hash_remote_bytes']:6d} B   "
                 f"greedy {result['greedy_remote_bytes']:6d} B   "

@@ -1,12 +1,24 @@
 #!/usr/bin/env python
-"""Diff two run traces on their logical event sequences.
+"""Diff two run traces on their logical event sequences and wire bytes.
 
 The observability contract says serial and parallel executions of the
 same run emit identical *logical* event sequences — type, superstep and
-``data`` payload — differing only in ``wall`` facts (durations, paths,
-executor names).  CI records one algorithm under both executors with
-``repro run --trace-out`` and feeds the files here; exit 1 means the
-executors disagreed about what logically happened.
+``data`` payload (which for ``barrier_exchange`` includes the
+local/remote message *and byte* split) — differing only in ``wall``
+facts (durations, paths, executor names).  CI records one algorithm
+under both executors with ``repro run --trace-out`` and feeds the files
+here; exit 1 means the executors disagreed about what logically
+happened.
+
+On top of the logical diff, the ``barrier_exchange`` wall facts carry
+the data plane's real wire accounting: ``exchange_bytes`` (bytes
+actually shipped, post sender-side combining) and
+``exchange_raw_bytes`` (what an uncombined wire would have carried).
+Both totals are printed per trace, and when *both* traces moved real
+wire traffic (e.g. parallel star vs parallel peer), their raw totals
+must agree — raw bytes are a count-preserving invariant of the run, not
+of the topology or of combining.  A serial trace has no wire, so its
+zero raw total is reported but never compared.
 
 Usage: ``python scripts/diff_traces.py A.trace B.trace``
 """
@@ -22,28 +34,68 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.obs.exporters import logical_sequence, read_trace  # noqa: E402
 
 
+def wire_totals(records) -> dict[str, int]:
+    """Summed ``barrier_exchange`` byte fields of one trace.
+
+    ``local``/``remote`` come from the logical ``data`` payload (modeled,
+    executor-independent); ``shipped``/``raw`` from ``wall`` (real wire
+    facts — zero for serial runs, which have no wire).
+    """
+    totals = {"local": 0, "remote": 0, "shipped": 0, "raw": 0}
+    for record in records:
+        if record["type"] != "barrier_exchange":
+            continue
+        totals["local"] += record["data"]["local_bytes"]
+        totals["remote"] += record["data"]["remote_bytes"]
+        totals["shipped"] += record["wall"].get("exchange_bytes", 0)
+        totals["raw"] += record["wall"].get("exchange_raw_bytes", 0)
+    return totals
+
+
 def main(argv: list[str]) -> int:
     if len(argv) != 3:
         print(__doc__.strip().splitlines()[-1])
         return 2
     left_path, right_path = argv[1], argv[2]
-    left = logical_sequence(read_trace(left_path))
-    right = logical_sequence(read_trace(right_path))
+    left_records = read_trace(left_path)
+    right_records = read_trace(right_path)
+    left = logical_sequence(left_records)
+    right = logical_sequence(right_records)
+
+    failed = False
     if left == right:
         print(f"traces logically identical ({len(left)} events)")
-        return 0
-    print(f"traces differ: {left_path} has {len(left)} logical events, "
-          f"{right_path} has {len(right)}")
-    for i, (a, b) in enumerate(zip(left, right)):
-        if a != b:
-            print(f"  first divergence at event {i}:")
-            print(f"    {left_path}: {a}")
-            print(f"    {right_path}: {b}")
-            break
     else:
-        longer, path = (left, left_path) if len(left) > len(right) else (right, right_path)
-        print(f"  {path} continues with: {longer[min(len(left), len(right))]}")
-    return 1
+        failed = True
+        print(f"traces differ: {left_path} has {len(left)} logical events, "
+              f"{right_path} has {len(right)}")
+        for i, (a, b) in enumerate(zip(left, right)):
+            if a != b:
+                print(f"  first divergence at event {i}:")
+                print(f"    {left_path}: {a}")
+                print(f"    {right_path}: {b}")
+                break
+        else:
+            longer, path = (left, left_path) if len(left) > len(right) else (right, right_path)
+            print(f"  {path} continues with: {longer[min(len(left), len(right))]}")
+
+    left_wire = wire_totals(left_records)
+    right_wire = wire_totals(right_records)
+    for path, wire in ((left_path, left_wire), (right_path, right_wire)):
+        print(
+            f"  {path}: barrier bytes local {wire['local']} / "
+            f"remote {wire['remote']} (modeled), wire shipped "
+            f"{wire['shipped']} / raw {wire['raw']}"
+        )
+    if left_wire["raw"] and right_wire["raw"] and left_wire["raw"] != right_wire["raw"]:
+        failed = True
+        print(
+            f"  raw wire bytes disagree: {left_path} carried "
+            f"{left_wire['raw']}, {right_path} carried {right_wire['raw']} — "
+            f"the uncombined-equivalent byte count must be invariant across "
+            f"topologies and combining"
+        )
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -37,6 +37,7 @@ from typing import Any, Optional
 from repro.core.config import (
     CheckpointConfig,
     EngineConfig,
+    ExchangeConfig,
     ExecutorConfig,
     ObservabilityConfig,
     PartitioningConfig,
@@ -49,6 +50,7 @@ from repro.runtime.cluster import SimulatedCluster
 __all__ = [
     "CheckpointConfig",
     "EngineConfig",
+    "ExchangeConfig",
     "ExecutorConfig",
     "IcmResult",
     "IntervalCentricEngine",

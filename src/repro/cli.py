@@ -52,6 +52,8 @@ def _icm_options(args: argparse.Namespace) -> dict:
         options["executor_processes"] = args.processes
     if getattr(args, "partitioner", None) is not None:
         options["partitioner"] = args.partitioner
+    if getattr(args, "exchange", None) is not None:
+        options["exchange"] = args.exchange
     if getattr(args, "checkpoint_every", None) is not None:
         options["checkpoint_every"] = args.checkpoint_every
     if getattr(args, "checkpoint_dir", None) is not None:
@@ -223,6 +225,12 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None,
                        help="vertex-to-worker placement for GRAPHITE runs "
                             "(default: REPRO_PARTITIONER env var or hash)")
+        p.add_argument("--exchange", choices=("star", "peer"),
+                       default=None,
+                       help="parallel barrier data plane: 'star' routes "
+                            "batches through the master, 'peer' ships them "
+                            "over direct worker-to-worker pipes "
+                            "(default: REPRO_EXCHANGE env var or star)")
 
     p_run = sub.add_parser("run", help="run one algorithm on one platform")
     p_run.add_argument("algorithm", choices=ALL_ALGORITHMS)

@@ -18,6 +18,7 @@ Environment resolution lives in exactly one documented place,
 ``REPRO_CHECKPOINT_DIR``      path → ``checkpoint.dir``
 ``REPRO_PARTITIONER``         ``hash`` | ``range`` | ``greedy`` |
                               ``interval_greedy`` → ``partitioning.kind``
+``REPRO_EXCHANGE``            ``star`` | ``peer`` → ``exchange.topology``
 ============================  =================================================
 
 Every variable is validated eagerly — a typo fails loudly, naming the
@@ -42,12 +43,16 @@ from typing import Any, Mapping, Optional
 __all__ = [
     "CheckpointConfig",
     "EngineConfig",
+    "ExchangeConfig",
     "ExecutorConfig",
     "ObservabilityConfig",
     "PartitioningConfig",
     "StateConfig",
     "WarpConfig",
 ]
+
+#: Valid barrier-exchange topologies (`repro.runtime.executor`).
+_EXCHANGE_TOPOLOGIES = ("star", "peer")
 
 #: Duplicated from ``repro.runtime.partitioner.PARTITIONER_KINDS`` so config
 #: validation stays import-cycle-free; ``test_cluster_partitioner`` pins the
@@ -120,6 +125,31 @@ class ExecutorConfig:
         if self.processes is not None and self.processes < 1:
             raise ValueError(
                 f"executor processes must be >= 1, got {self.processes}"
+            )
+
+
+@dataclass(frozen=True)
+class ExchangeConfig:
+    """Parallel barrier data plane (`repro.runtime.executor`).
+
+    ``topology`` picks how cross-process message batches travel at the
+    barrier: ``"star"`` routes every batch worker→master→worker inside the
+    step-result dict (the historical layout), ``"peer"`` gives workers
+    direct pipe pairs so batch bytes cross the wire exactly once — the
+    Giraph-style netty exchange, with the master still owning the barrier,
+    aggregates, and fault supervision.  ``combine`` enables count-preserving
+    sender-side combining for selective combiners (results stay bit-identical
+    either way; the serial executor ignores this group entirely).
+    """
+
+    topology: str = "star"
+    combine: bool = True
+
+    def __post_init__(self):
+        if self.topology not in _EXCHANGE_TOPOLOGIES:
+            raise ValueError(
+                f"exchange topology {self.topology!r} unknown "
+                f"(expected one of {', '.join(_EXCHANGE_TOPOLOGIES)})"
             )
 
 
@@ -283,6 +313,18 @@ def _env_partitioner_kind(env: Mapping[str, str]) -> Optional[str]:
     return raw
 
 
+def _env_exchange_topology(env: Mapping[str, str]) -> Optional[str]:
+    raw = env.get("REPRO_EXCHANGE")
+    if not raw:
+        return None
+    if raw not in _EXCHANGE_TOPOLOGIES:
+        raise ValueError(
+            f"unknown exchange topology in REPRO_EXCHANGE={raw!r} "
+            f"(expected one of {', '.join(_EXCHANGE_TOPOLOGIES)})"
+        )
+    return raw
+
+
 def _env_fault_plan(env: Mapping[str, str]) -> Optional[str]:
     raw = env.get("REPRO_FAULT_PLAN")
     if not raw:
@@ -311,6 +353,8 @@ _OPTION_MAP: dict[str, tuple[Optional[str], str]] = {
     "executor": ("executor", "kind"),
     "executor_processes": ("executor", "processes"),
     "fault_plan": ("executor", "fault_plan"),
+    "exchange": ("exchange", "topology"),
+    "exchange_combine": ("exchange", "combine"),
     "partitioner": ("partitioning", "kind"),
     "partitioner_seed": ("partitioning", "seed"),
     "partitioner_slack": ("partitioning", "capacity_slack"),
@@ -326,6 +370,7 @@ _GROUP_CLASS_NAMES = {
     "warp": "WarpConfig",
     "state": "StateConfig",
     "executor": "ExecutorConfig",
+    "exchange": "ExchangeConfig",
     "partitioning": "PartitioningConfig",
     "checkpoint": "CheckpointConfig",
     "observability": "ObservabilityConfig",
@@ -339,6 +384,7 @@ class EngineConfig:
     warp: WarpConfig = field(default_factory=WarpConfig)
     state: StateConfig = field(default_factory=StateConfig)
     executor: ExecutorConfig = field(default_factory=ExecutorConfig)
+    exchange: ExchangeConfig = field(default_factory=ExchangeConfig)
     partitioning: PartitioningConfig = field(default_factory=PartitioningConfig)
     checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
     observability: ObservabilityConfig = field(default_factory=ObservabilityConfig)
@@ -362,6 +408,9 @@ class EngineConfig:
                 processes=_env_int(env, "REPRO_EXECUTOR_PROCESSES", minimum=1),
                 fault_plan=_env_fault_plan(env),
                 kind_from_env=kind is not None,
+            ),
+            exchange=ExchangeConfig(
+                topology=_env_exchange_topology(env) or "star",
             ),
             partitioning=PartitioningConfig(
                 kind=partitioner_kind,

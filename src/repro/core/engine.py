@@ -213,8 +213,15 @@ class VertexProcessor:
         messages: list[IntervalMessage],
         metrics: RunMetrics,
         send,
+        extra_raw: int = 0,
     ) -> float:
-        """Run one vertex's computation phase; returns its modeled cost."""
+        """Run one vertex's computation phase; returns its modeled cost.
+
+        ``extra_raw`` is the number of raw messages that sender-side
+        combining pre-folded out of ``messages`` before delivery (the sum
+        of ``count - 1`` over combined entries addressed to this vertex);
+        the receiver pass charges for them as if they had arrived.
+        """
         program = self.program
         model = self.model
         cost = 0.0
@@ -228,7 +235,7 @@ class VertexProcessor:
                 cost += model.per_compute_call_s
             ctx._end()
         elif messages:
-            cost += self._compute_on_messages(ctx, messages, metrics)
+            cost += self._compute_on_messages(ctx, messages, metrics, extra_raw)
         elif program.fixed_supersteps is not None:
             # Fixed-superstep programs treat every vertex interval as active.
             for interval, value in ctx.state.partitions():
@@ -252,14 +259,20 @@ class VertexProcessor:
         return self.scatter_updates(ctx, metrics, send)
 
     def _compute_on_messages(
-        self, ctx: VertexContext, messages: list[IntervalMessage], metrics: RunMetrics
+        self, ctx: VertexContext, messages: list[IntervalMessage],
+        metrics: RunMetrics, extra_raw: int = 0,
     ) -> float:
         program = self.program
         model = self.model
         combiner = program.combiner
         cost = 0.0
         if combiner is not None and self.enable_receiver_combiner:
-            before = len(messages)
+            # ``before`` is the raw message count: what arrived plus what
+            # sender-side combining folded away upstream.  The sum is exact
+            # (integers) and the charge stays one int x float multiply, so
+            # modeled compute is bitwise identical to the serial run that
+            # scanned every raw message here.
+            before = len(messages) + extra_raw
             cost += before * model.per_message_scan_s  # the receiver pass
             messages = combiner.combine_identical_intervals(messages)
             if self.enable_dominated_elimination:
@@ -623,6 +636,7 @@ class IntervalCentricEngine:
         ``metrics.recovery``, never in the modeled quantities.
         """
         from repro.runtime.checkpoint import (
+            EXCHANGE_FINGERPRINT,
             CheckpointError,
             clear_checkpoints,
             config_fingerprint,
@@ -639,6 +653,7 @@ class IntervalCentricEngine:
             tracer=self.tracer,
             fault_plan=self.config.executor.fault_plan,
             from_env=self.config.executor.kind_from_env,
+            exchange=self.config.exchange,
         )
         rescatter = rescatter or {}
         if resume_from is not None and warm_states is not None:
@@ -669,6 +684,13 @@ class IntervalCentricEngine:
                     f"{ckpt.partitioner} but this engine runs under "
                     f"{current_partitioner}; refusing to resume across a "
                     "different vertex-to-worker assignment"
+                )
+            if ckpt.exchange and ckpt.exchange != EXCHANGE_FINGERPRINT:
+                raise CheckpointError(
+                    f"checkpoint {ckpt.path} carries exchange data-plane "
+                    f"fingerprint {ckpt.exchange!r} but this build speaks "
+                    f"{EXCHANGE_FINGERPRINT!r}; refusing to resume across "
+                    "incompatible routed-batch wire formats"
                 )
             if ckpt.config_hash != config_hash:
                 raise CheckpointError(
@@ -801,7 +823,11 @@ class IntervalCentricEngine:
         recovery,
     ) -> IcmResult:
         """One execution attempt: fresh, resumed, or a recovery replay."""
-        from repro.runtime.checkpoint import restore_metrics, write_checkpoint
+        from repro.runtime.checkpoint import (
+            EXCHANGE_FINGERPRINT,
+            restore_metrics,
+            write_checkpoint,
+        )
 
         if start_ckpt is None:
             metrics = RunMetrics(
@@ -886,6 +912,8 @@ class IntervalCentricEngine:
                         metrics.message_bytes,
                         metrics.local_messages,
                         metrics.remote_messages,
+                        metrics.local_message_bytes,
+                        metrics.remote_message_bytes,
                     )
                     events.emit("superstep_start", superstep=self.superstep)
                 num_active = executor.run_superstep(self.superstep, metrics)
@@ -913,6 +941,7 @@ class IntervalCentricEngine:
                         num_workers=self.cluster.num_workers,
                         worker_of=self.cluster.worker_of,
                         partitioner=partitioner_fingerprint(self.cluster.partitioner),
+                        exchange=EXCHANGE_FINGERPRINT,
                     )
                     recovery.checkpoints_written += 1
                     recovery.checkpoint_bytes += info.bytes_written
@@ -980,10 +1009,13 @@ class IntervalCentricEngine:
             data={
                 "local_messages": metrics.local_messages - before[7],
                 "remote_messages": metrics.remote_messages - before[8],
+                "local_bytes": metrics.local_message_bytes - before[9],
+                "remote_bytes": metrics.remote_message_bytes - before[10],
             },
             wall={
                 "exchange_s": step.exchange_time,
                 "exchange_bytes": step.exchange_bytes,
+                "exchange_raw_bytes": step.exchange_raw_bytes,
             },
         )
         events.emit(

@@ -44,8 +44,9 @@ __all__ = [
 ]
 
 #: Current trace-record schema version.  v2 added the partitioning facts
-#: to ``run_start`` (fingerprint, edge cut, per-worker loads).
-EVENT_SCHEMA_VERSION = 2
+#: to ``run_start`` (fingerprint, edge cut, per-worker loads); v3 added
+#: the local/remote byte split to ``barrier_exchange``.
+EVENT_SCHEMA_VERSION = 3
 
 #: Event type → required ``data`` keys.  ``superstep`` must be ``None``
 #: for the types in :data:`RUN_LEVEL_TYPES` and a positive int otherwise.
@@ -61,7 +62,8 @@ EVENT_TYPES: Dict[str, Tuple[str, ...]] = {
     "compute_phase": ("compute_calls", "warp_calls",
                       "warp_suppressed_vertices", "combiner_reductions"),
     "scatter_phase": ("scatter_calls", "messages", "message_bytes"),
-    "barrier_exchange": ("local_messages", "remote_messages"),
+    "barrier_exchange": ("local_messages", "remote_messages",
+                         "local_bytes", "remote_bytes"),
     "superstep_end": ("active", "modeled_compute_s", "modeled_messaging_s"),
     # durability & recovery
     "checkpoint_write": (),

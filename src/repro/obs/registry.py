@@ -129,6 +129,9 @@ RUN_METRICS = MetricRegistry(
         MetricSpec("exchange_bytes", "int", "counter", "bytes",
                    "real bytes shipped between worker processes",
                    modeled=False),
+        MetricSpec("exchange_raw_bytes", "int", "counter", "bytes",
+                   "bytes the exchange would have shipped without "
+                   "sender-side combining", modeled=False),
         MetricSpec("compute_plus_time", "float", "time", "seconds",
                    "measured wall-time of compute (and scatter) phases",
                    modeled=False),

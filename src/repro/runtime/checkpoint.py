@@ -72,6 +72,7 @@ from .partitioner import partitioner_fingerprint
 
 __all__ = [
     "CHECKPOINT_FORMAT",
+    "EXCHANGE_FINGERPRINT",
     "CheckpointError",
     "CheckpointInfo",
     "ExecutorSnapshot",
@@ -87,7 +88,14 @@ __all__ = [
 ]
 
 #: Bump on any incompatible change to the shard or manifest layout.
-CHECKPOINT_FORMAT = 1
+#: 2: pending messages use routed-batch wire format 2 (leading format
+#: byte, per-entry raw-message counts from sender-side combining).
+CHECKPOINT_FORMAT = 2
+
+#: The exchange data-plane fingerprint written into manifests: names the
+#: routed-batch wire version the pending entries use.  Deliberately not
+#: the topology or the combine flag — those are resume-portable.
+EXCHANGE_FINGERPRINT = "routed-batch-v2"
 
 _SHARD_MAGIC = b"ICMC"
 _STEP_DIR = re.compile(r"^step-(\d{6})$")
@@ -114,16 +122,19 @@ class CheckpointError(RuntimeError):
 class ExecutorSnapshot:
     """Everything an executor owns at a barrier, in executor-neutral form.
 
-    ``pending`` entries are ``(sender_seq, dst_vid, message)`` in delivery
-    order — the same triples the parallel wire format routes — so a
-    snapshot taken under one executor can be resumed under the other.
-    ``carried_reductions`` are worker-local combiner folds already applied
-    to the pending messages but not yet credited to the metrics (the
-    receiving superstep credits them; it has not run yet).
+    ``pending`` entries are ``(sender_seq, dst_vid, message)`` triples in
+    delivery order — the same entries the parallel wire format routes — or
+    ``(seq, dst, message, count, charge)`` 5-tuples where sender-side
+    combining folded ``count`` raw messages into one; either executor
+    charges the folded-away messages on the first resumed superstep, so a
+    snapshot taken under one executor/topology resumes under any other.
+    ``carried_reductions`` predates the count-carrying entries and is now
+    always 0 (counts travel inside the entries); the field and its
+    manifest key are kept so the snapshot shape stays stable.
     """
 
     states: dict[Any, PartitionedState]
-    pending: list[tuple[int, Any, IntervalMessage]]
+    pending: list[tuple]
     carried_reductions: int = 0
 
 
@@ -155,6 +166,12 @@ class LoadedCheckpoint:
     #: Fingerprint of the partitioner the writer ran under ("" in
     #: manifests predating the partitioning subsystem).
     partitioner: str = ""
+    #: Exchange data-plane fingerprint — the routed-batch wire version the
+    #: pending entries were written with ("" in older manifests).  The
+    #: topology and combine flag are deliberately *not* part of it: star
+    #: and peer checkpoints are interchangeable by construction, and the
+    #: decoder always understands combined entries.
+    exchange: str = ""
 
 
 # -- shard codec ---------------------------------------------------------------
@@ -383,6 +400,7 @@ def write_checkpoint(
     num_workers: int,
     worker_of: Callable[[Any], int],
     partitioner: str = "",
+    exchange: str = "",
 ) -> CheckpointInfo:
     """Write one barrier's state under ``root`` atomically.
 
@@ -434,6 +452,7 @@ def write_checkpoint(
         "superstep": superstep,
         "config_hash": config_hash,
         "partitioner": partitioner,
+        "exchange": exchange,
         "algorithm": metrics.algorithm,
         "graph": metrics.graph,
         "num_workers": num_workers,
@@ -574,4 +593,5 @@ def load_checkpoint(
         aggregates=aggregates,
         metrics=manifest.get("metrics", {}),
         partitioner=manifest.get("partitioner", ""),
+        exchange=manifest.get("exchange", ""),
     )

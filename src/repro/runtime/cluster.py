@@ -75,6 +75,7 @@ class SimulatedCluster:
         self.model_network = model_network
         self._inboxes: dict[Any, list[IntervalMessage]] = {}
         self._pending: dict[Any, list[IntervalMessage]] = {}
+        self._seeded_extra: dict[Any, int] = {}
         self._worker_compute: list[float] = [0.0] * num_workers
         self._step: Optional[SuperstepMetrics] = None
 
@@ -168,6 +169,7 @@ class SimulatedCluster:
         if self.worker_of(src_vid) == self.worker_of(dst_vid):
             metrics.local_messages += 1
             metrics.local_message_bytes += size
+            step.local_bytes += size
         else:
             metrics.remote_messages += 1
             metrics.remote_message_bytes += size
@@ -225,6 +227,7 @@ class SimulatedCluster:
             metrics.remote_message_bytes += bytes_remote
             metrics.local_message_bytes += bytes_total - bytes_remote
             step.bytes += bytes_remote
+            step.local_bytes += bytes_total - bytes_remote
         step.messages += app + system
 
     def end_superstep(self, metrics: RunMetrics, messaging_time: float = 0.0) -> SuperstepMetrics:
@@ -277,18 +280,43 @@ class SimulatedCluster:
         return entries
 
     def seed_pending(self, entries) -> None:
-        """Rebuild the pending queues from checkpoint ``(seq, dst, message)``
-        triples (sorted by seq by the loader — serial delivery order)."""
+        """Rebuild the pending queues from checkpoint routed entries
+        (sorted by seq by the loader — serial delivery order).
+
+        Entries are ``(seq, dst, message)`` triples or, when the
+        checkpoint was written by a run with sender-side combining,
+        ``(seq, dst, message, count, charge)`` 5-tuples standing in for
+        ``count`` raw messages.  The folded-away counts are recorded per
+        destination so the serial executor can charge the receiver pass
+        for them on the first resumed superstep (see
+        :meth:`take_seeded_extra`)."""
         if self._step is not None:
             raise ClusterLifecycleError("seed_pending inside an open superstep")
         self._pending = {}
-        for _seq, dst, msg in entries:
+        self._seeded_extra = {}
+        for entry in entries:
+            dst, msg = entry[1], entry[2]
             self._pending.setdefault(dst, []).append(msg)
+            if len(entry) > 3:
+                extra = entry[3] - 1
+                if extra:
+                    self._seeded_extra[dst] = (
+                        self._seeded_extra.get(dst, 0) + extra
+                    )
+
+    def take_seeded_extra(self) -> dict:
+        """Per-destination raw-message counts folded out of the seeded
+        pending entries — consumed exactly once, by the first superstep
+        after a resume (empty on every later call)."""
+        extra = getattr(self, "_seeded_extra", None) or {}
+        self._seeded_extra = {}
+        return extra
 
     def reset(self) -> None:
         """Clear all queues (between independent runs on one cluster)."""
         self._inboxes = {}
         self._pending = {}
+        self._seeded_extra = {}
         self._worker_compute = [0.0] * self.num_workers
         self._step = None
 

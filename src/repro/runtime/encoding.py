@@ -280,33 +280,112 @@ def encoded_batch_size(messages, *, varint: bool = True) -> int:
 # sending vertex's global sequence number so the receiver can restore the
 # exact serial delivery order (stable sort by ``seq``), the destination
 # vertex id (any payload-encodable value), and the message itself.
+#
+# Wire format 2 prefixes the buffer with a format byte and gives every
+# entry a trailing varint *raw message count*.  A count above 1 marks a
+# sender-side combined entry: ``count`` raw messages to the same
+# (destination, interval) were pre-folded before crossing the wire, and
+# the entry additionally carries the exact modeled per-message scan charge
+# (one IEEE-754 double) those raw messages would have cost the receiver —
+# so the receiver can keep modeled compute and ``combiner_reductions``
+# bit-identical to serial without ever seeing the raw messages.  Format 1
+# (no format byte, no counts) is refused by name: checkpoints that embed
+# it are version-bumped in lockstep.
+
+ROUTED_BATCH_FORMAT = 2
 
 
-def encode_routed_batch(entries) -> bytes:
-    """Encode ``(seq, dst_vid, IntervalMessage)`` entries into one buffer."""
-    out = bytearray()
+def encode_routed_batch_into(entries, out: bytearray) -> None:
+    """Append the wire form of a routed batch to ``out`` without allocating.
+
+    Entries are either ``(seq, dst_vid, IntervalMessage)`` 3-tuples (a raw
+    message, count 1) or ``(seq, dst_vid, IntervalMessage, count, charge)``
+    5-tuples (a combined entry standing in for ``count`` raw messages whose
+    modeled receiver scan charge is ``charge`` seconds).
+    """
+    out.append(ROUTED_BATCH_FORMAT)
     _encode_varint_into(len(entries), out)
     varint_into, payload_into, interval_into = (
         _encode_varint_into, _encode_payload_into, _encode_interval_into,
     )
-    for seq, dst, msg in entries:
+    for entry in entries:
+        if len(entry) == 3:
+            seq, dst, msg = entry
+            count = 1
+        else:
+            seq, dst, msg, count, charge = entry
         varint_into(seq, out)
         payload_into(dst, out)
         interval_into(msg.interval, out)
         payload_into(msg.value, out)
+        varint_into(count, out)
+        if count > 1:
+            out += struct.pack("<d", charge)
+
+
+def encode_routed_batch(entries) -> bytes:
+    """Encode routed entries (3- or 5-tuples) into one wire-format-2 buffer."""
+    out = bytearray()
+    encode_routed_batch_into(entries, out)
     return bytes(out)
 
 
-def decode_routed_batch(buf: bytes) -> list[tuple[int, Any, IntervalMessage]]:
-    """Inverse of :func:`encode_routed_batch`; rejects trailing bytes."""
-    count, offset = decode_varint(buf, 0)
-    entries: list[tuple[int, Any, IntervalMessage]] = []
+def _decode_routed_entries(buf, offset: int = 0):
+    """Decode a routed batch starting at ``offset``; returns
+    ``(entries, next_offset)``.
+
+    ``buf`` may be any byte sequence (``bytes`` or a reusable
+    ``bytearray`` receive buffer larger than the frame) — the caller
+    checks the final offset against the frame length if it cares about
+    trailing bytes.  Combined entries come back as 5-tuples, raw entries
+    as 3-tuples.
+    """
+    fmt = buf[offset]
+    offset += 1
+    if fmt != ROUTED_BATCH_FORMAT:
+        raise ValueError(
+            f"routed batch wire format {fmt} unsupported: this build speaks "
+            f"format {ROUTED_BATCH_FORMAT} (format 1 batches carried no "
+            f"format byte and no combined-entry counts)"
+        )
+    count, offset = decode_varint(buf, offset)
+    entries = []
     for _ in range(count):
         seq, offset = decode_varint(buf, offset)
         dst, offset = decode_payload(buf, offset)
         interval, offset = decode_interval(buf, offset)
         value, offset = decode_payload(buf, offset)
-        entries.append((seq, dst, IntervalMessage(interval, value)))
+        raw, offset = decode_varint(buf, offset)
+        msg = IntervalMessage(interval, value)
+        if raw > 1:
+            charge = struct.unpack_from("<d", buf, offset)[0]
+            offset += 8
+            entries.append((seq, dst, msg, raw, charge))
+        else:
+            entries.append((seq, dst, msg))
+    return entries, offset
+
+
+def decode_routed_batch(buf: bytes) -> list[tuple]:
+    """Inverse of :func:`encode_routed_batch`; rejects trailing bytes."""
+    entries, offset = _decode_routed_entries(buf, 0)
     if offset != len(buf):
         raise ValueError("trailing bytes after batch")
     return entries
+
+
+def routed_entry_size(seq: int, dst: Any, msg: IntervalMessage,
+                      *, varint: bool = True) -> int:
+    """Wire bytes one *raw* (count-1) routed entry occupies in format 2.
+
+    The executor accumulates this per remote send to report what the
+    exchange would have shipped without sender-side combining
+    (``exchange_raw_bytes``).
+    """
+    return (
+        varint_size(seq)
+        + payload_size(dst, varint=varint)
+        + interval_size(msg.interval, varint=varint)
+        + payload_size(msg.value, varint=varint)
+        + 1  # the count varint (always 1 for a raw entry)
+    )

@@ -12,11 +12,27 @@ superstep to an executor:
   actives concurrently with the other processes, and exchanges cross-process
   messages at the BSP barrier as varint-encoded routed batches
   (`repro.runtime.encoding`).  Worker-local messages never leave the
-  process.  Batches cross the wire *uncombined*: receiver combining
-  happens only in the receiving vertex's processor, exactly where the
-  serial executor performs it, so the modeled receiver-pass cost (one
-  message-scan per raw inbox message) folds bitwise-identically whichever
-  partitioner routed the messages.
+  process.
+
+Two exchange topologies move the batches (``ExchangeConfig.topology``):
+
+* ``star`` — batches ride the worker's step report to the master, which
+  redistributes them with the next step command (the historical layout);
+* ``peer`` — every worker pair shares a duplex pipe and batch bytes cross
+  the wire exactly once, framed with ``send_bytes``/``recv_bytes`` into
+  reusable buffers (no pickling); the master still owns the barrier,
+  aggregates, and fault supervision.
+
+Cross-process batches are **combined at the sender** when the program's
+combiner is selective (min/max/or — order-insensitive folds): messages to
+the same (destination, interval) pre-fold into one wire entry that carries
+the raw message count and the modeled scan charge it replaced.  The
+receiver reconstructs the raw inbox size from those counts and charges the
+receiver pass with one integer-times-float multiply — exactly the serial
+expression — so modeled compute, ``combiner_reductions`` and every state
+stay bit-identical to serial under any partitioner, while the wire carries
+fewer bytes.  Aggregating combiners (sum — float addition is not
+associative bitwise) are never pre-folded.
 
 Determinism: both executors process active vertices in the canonical global
 vertex order (graph enumeration order, ``engine._seq``), every message
@@ -38,12 +54,15 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import pickle
+import signal
+import threading
 import time
 import traceback
 from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _conn_wait
 from typing import Any, Optional
 
-from repro.core.config import _env_int
+from repro.core.config import ExchangeConfig, _env_exchange_topology, _env_int
 from repro.core.context import VertexContext
 from repro.core.engine import VertexProcessor
 from repro.core.interval import Interval
@@ -51,7 +70,14 @@ from repro.core.messages import IntervalMessage
 from repro.obs.registry import RUN_METRICS
 
 from .checkpoint import ExecutorSnapshot
-from .encoding import decode_routed_batch, encode_routed_batch, encoded_batch_size
+from .encoding import (
+    _decode_routed_entries,
+    decode_routed_batch,
+    encode_routed_batch,
+    encode_routed_batch_into,
+    encoded_message_size,
+    routed_entry_size,
+)
 from .faults import FaultPlan, WorkerDiedError, kill_process
 from .metrics import RunMetrics
 
@@ -79,6 +105,7 @@ def resolve_executor(
     tracer=None,
     fault_plan: Any = None,
     from_env: bool = False,
+    exchange: Optional[ExchangeConfig] = None,
 ):
     """Turn an executor spec into an executor instance.
 
@@ -92,9 +119,11 @@ def resolve_executor(
     ``REPRO_FAULT_PLAN`` (chaos CI knob).  ``from_env=True`` marks a
     ``spec`` string that itself came from ``REPRO_EXECUTOR``
     (``EngineConfig.from_env`` resolves the variable eagerly and carries
-    the provenance here).  All environment variables are validated eagerly
-    — a typo fails loudly, naming the variable, instead of silently
-    running the wrong configuration.
+    the provenance here).  ``exchange`` configures the parallel barrier
+    data plane (:class:`~repro.core.config.ExchangeConfig`); ``None``
+    falls back to ``REPRO_EXCHANGE``.  All environment variables are
+    validated eagerly — a typo fails loudly, naming the variable, instead
+    of silently running the wrong configuration.
     """
     if spec is not None and not isinstance(spec, str):
         executor = spec
@@ -127,7 +156,13 @@ def resolve_executor(
                 plan = FaultPlan.parse(fault_plan)
             else:
                 plan = fault_plan
-            executor = ParallelExecutor(processes=processes, fault_plan=plan)
+            if exchange is None:
+                exchange = ExchangeConfig(
+                    topology=_env_exchange_topology(os.environ) or "star"
+                )
+            executor = ParallelExecutor(
+                processes=processes, fault_plan=plan, exchange=exchange
+            )
     if tracer is not None and executor.name != "serial":
         raise ValueError(
             "the parallel executor cannot host an ExecutionTracer "
@@ -170,6 +205,11 @@ class SerialExecutor:
         contexts = self._contexts
 
         inboxes = cluster.begin_superstep(superstep)
+        # Non-empty only on the first superstep after resuming a checkpoint
+        # whose pending entries were sender-side combined: per-destination
+        # counts of the raw messages folded into them, charged below so the
+        # resumed run's modeled compute matches the uninterrupted one.
+        extra_raw = cluster.take_seeded_extra()
         if superstep == 1:
             if not self._warm:
                 active = list(contexts)
@@ -201,7 +241,10 @@ class SerialExecutor:
             if superstep == 1 and self._warm and vid not in self._fresh:
                 cost = processor.rescatter(ctx, self._rescatter[vid], metrics, send)
             else:
-                cost = processor.process(ctx, inboxes.get(vid, []), metrics, send)
+                cost = processor.process(
+                    ctx, inboxes.get(vid, []), metrics, send,
+                    extra_raw.get(vid, 0),
+                )
             cluster.add_compute_time(vid, cost)
         compute_wall = time.perf_counter() - t0
         metrics.compute_plus_time += compute_wall
@@ -261,6 +304,23 @@ class _ShardPayload:
     model_network: bool
     varint: bool
     processor_args: dict[str, Any] = field(default_factory=dict)
+    #: Sender-side combining enabled (``ExchangeConfig.combine``) — still
+    #: gated per program on a selective combiner at runtime.
+    combine: bool = True
+    #: Direct pipe ends to sibling workers (``{peer_index: Connection}``)
+    #: under ``topology=peer``; ``None`` keeps the star exchange.
+    peer_conns: Optional[dict[int, Any]] = None
+    #: Pipe ends belonging to *other* worker pairs, inherited through
+    #: fork — closed at worker startup so peer death surfaces as EOF.
+    close_conns: Any = None
+
+
+class _PeerDied(Exception):
+    """A peer pipe hit EOF mid-exchange: that worker process is gone."""
+
+    def __init__(self, peer: int):
+        super().__init__(f"peer worker {peer} died during barrier exchange")
+        self.peer = peer
 
 
 class _WorkerRuntime:
@@ -298,10 +358,36 @@ class _WorkerRuntime:
             for vid, state in payload.states.items()
         }
         #: Messages routed to this process, awaiting next superstep.
-        self._pending: list[tuple[int, Any, IntervalMessage]] = []
+        self._pending: list[tuple] = []
         self._cur_seq = 0
         self._contrib_idx = 0
         self._contribs: list[tuple[int, int, str, Any]] = []
+        # Sender-side combining: only selective combiners (min/max/or —
+        # folds that *choose* an operand) fold exactly under regrouping;
+        # sum must see every raw message, so it is never pre-folded.  The
+        # gate mirrors the receiver pass (enable_receiver_combiner): with
+        # the receiver pass off, the serial inbox stays raw and so must
+        # the wire.
+        combiner = payload.program.combiner
+        self._fold = (
+            combiner
+            if (
+                payload.combine
+                and combiner is not None
+                and combiner.selective
+                and self.processor.enable_receiver_combiner
+            )
+            else None
+        )
+        self._scan_s = payload.compute_model.per_message_scan_s
+        # Peer exchange plumbing (empty/no-op under the star topology).
+        self.peer_conns = payload.peer_conns or {}
+        self._peer_ids = sorted(self.peer_conns)
+        self._send_bufs = {q: bytearray() for q in self._peer_ids}
+        self._recv_buf = bytearray(1 << 16)
+        #: Decoded per-peer entry lists received at the last exchange,
+        #: awaiting the next superstep (peer topology only).
+        self._peer_parts: list[list[tuple]] = []
 
     # -- engine protocol for VertexContext -----------------------------------
 
@@ -323,44 +409,114 @@ class _WorkerRuntime:
         self._app += 1
         src_shard = self.partitioner.worker_of(src)
         dst_shard = self.partitioner.worker_of(dst)
-        if src_shard == dst_shard:
+        local = src_shard == dst_shard
+        if local:
             self._local += 1
         else:
             self._remote += 1
-            if self.model_network:
-                self._sent_remote.append(msg)
         if self.model_network:
-            self._sent_all.append(msg)
-        entry = (self._cur_seq, dst, msg)
+            # Modeled wire size accumulated per send — the same integer sum
+            # the old end-of-superstep batch re-encode produced, without
+            # keeping every sent message alive for a second pass.
+            size = encoded_message_size(msg, varint=self.varint)
+            self._bytes_total += size
+            if not local:
+                self._bytes_remote += size
+        seq = self._cur_seq
         dest_proc = self.shard_to_proc[dst_shard]
         if dest_proc == self.proc_index:
-            self._pending.append(entry)
+            self._pending.append((seq, dst, msg))
+            return
+        # Crossing a process boundary: account the raw wire footprint, then
+        # pre-fold into an open combined entry when the combiner allows it.
+        self._raw_wire += routed_entry_size(seq, dst, msg)
+        fold = self._fold
+        if fold is None:
+            self._out.setdefault(dest_proc, []).append((seq, dst, msg))
+            return
+        key = (dst, msg.interval)
+        index = self._out_index.setdefault(dest_proc, {})
+        pos = index.get(key)
+        if pos is None:
+            lst = self._out.setdefault(dest_proc, [])
+            index[key] = len(lst)
+            lst.append((seq, dst, msg))
+            return
+        # Fold in place.  The entry keeps the FIRST folded message's seq
+        # and list position, so the receiver's stable sort sees each
+        # (destination, interval) group exactly where serial delivery
+        # would first meet it; the count metadata preserves the raw
+        # message count and the modeled scan charge (count x scan, one
+        # multiply) the fold replaced.
+        lst = self._out[dest_proc]
+        prev = lst[pos]
+        if len(prev) == 3:
+            seq0, _dst0, msg0 = prev
+            count = 2
         else:
-            self._out.setdefault(dest_proc, []).append(entry)
+            seq0, _dst0, msg0 = prev[0], prev[1], prev[2]
+            count = prev[3] + 1
+        lst[pos] = (
+            seq0,
+            dst,
+            IntervalMessage(msg0.interval, fold(msg0.value, msg.value)),
+            count,
+            count * self._scan_s,
+        )
 
     # -- superstep ------------------------------------------------------------
 
-    def step(self, superstep: int, aggregates: dict[str, Any], batches) -> dict[str, Any]:
+    def step(
+        self,
+        superstep: int,
+        aggregates: dict[str, Any],
+        batches,
+        die_in_exchange: bool = False,
+    ) -> dict[str, Any]:
         self.superstep = superstep
         self.processor.superstep = superstep
         self._aggregates = aggregates
 
         wire_s = 0.0
         t_wire = time.perf_counter()
-        entries = self._pending
+        # Gather the delivery sources: worker-local pending, master-routed
+        # batches (star topology and checkpoint restores), and the entry
+        # lists already decoded off the peer pipes at the last exchange.
+        # Every source is nondecreasing in sender seq (actives run in seq
+        # order at their sender; batches preserve send order), so a single
+        # non-empty source is *provably* already in serial delivery order
+        # and the per-superstep sort can be skipped outright.
+        parts: list[list[tuple]] = []
+        if self._pending:
+            parts.append(self._pending)
         self._pending = []
-        carried_reductions = 0
-        for buf, reductions in batches:
-            entries.extend(decode_routed_batch(buf))
-            carried_reductions += reductions
+        for buf in batches:
+            decoded = decode_routed_batch(buf)
+            if decoded:
+                parts.append(decoded)
+        parts.extend(self._peer_parts)
+        self._peer_parts = []
+        if not parts:
+            entries: list[tuple] = []
+        elif len(parts) == 1:
+            entries = parts[0]
+        else:
+            entries = [e for part in parts for e in part]
+            # Restore the serial delivery order: stable sort by sender
+            # sequence (per-sender order is already correct within each
+            # source list).
+            entries.sort(key=lambda e: e[0])
         wire_s += time.perf_counter() - t_wire
 
-        # Restore the serial delivery order: stable sort by sender sequence
-        # (per-sender order is already correct within each source list).
-        entries.sort(key=lambda e: e[0])
         inboxes: dict[Any, list[IntervalMessage]] = {}
-        for _seq, dst, msg in entries:
-            inboxes.setdefault(dst, []).append(msg)
+        # Raw messages folded away by sender-side combining, per receiving
+        # vertex — the receiver pass charges for them as if they arrived.
+        extra_raw: dict[Any, int] = {}
+        for e in entries:
+            dst = e[1]
+            if len(e) > 3:
+                extra_raw[dst] = extra_raw.get(dst, 0) + e[3] - 1
+            inboxes.setdefault(dst, []).append(e[2])
 
         if superstep == 1:
             if not self.warm:
@@ -376,13 +532,14 @@ class _WorkerRuntime:
             active = [vid for vid in self.vids if vid in inboxes]
 
         counts = RunMetrics()  # counter bag for this superstep's deltas
-        counts.combiner_reductions += carried_reductions
         self._app = 0
         self._local = 0
         self._remote = 0
-        self._sent_all: list[IntervalMessage] = []
-        self._sent_remote: list[IntervalMessage] = []
-        self._out: dict[int, list[tuple[int, Any, IntervalMessage]]] = {}
+        self._bytes_total = 0
+        self._bytes_remote = 0
+        self._raw_wire = 0
+        self._out: dict[int, list[tuple]] = {}
+        self._out_index: dict[int, dict[tuple, int]] = {}
         self._contribs = []
         shard_compute: dict[int, float] = {}
         processor = self.processor
@@ -398,61 +555,139 @@ class _WorkerRuntime:
                     ctx, self.rescatter_windows[vid], counts, self._send
                 )
             else:
-                cost = processor.process(ctx, inboxes.get(vid, []), counts, self._send)
+                cost = processor.process(
+                    ctx, inboxes.get(vid, []), counts, self._send,
+                    extra_raw.get(vid, 0),
+                )
             shard = worker_of(vid)
             shard_compute[shard] = shard_compute.get(shard, 0.0) + cost
         wall = time.perf_counter() - t0
 
-        # Batches go out raw — never pre-combined.  Folding at the sender
-        # would shrink the receiver's inbox, and the receiver pass charges
-        # one modeled message-scan per *raw* inbox message: under an
-        # unbalanced (greedy) placement the serial and parallel modeled
-        # compute times would then diverge.  The zero reduction count is
-        # kept in the tuple for wire/checkpoint compatibility.
         t_wire = time.perf_counter()
-        out: dict[int, tuple[bytes, int]] = {}
-        for dest, out_entries in self._out.items():
-            out[dest] = (encode_routed_batch(out_entries), 0)
-        wire_s += time.perf_counter() - t_wire
-
-        if self.model_network:
-            bytes_total = encoded_batch_size(self._sent_all, varint=self.varint)
-            bytes_remote = encoded_batch_size(self._sent_remote, varint=self.varint)
+        out: dict[int, bytes] = {}
+        exchange_bytes = 0
+        if self.peer_conns:
+            exchange_bytes = self._exchange_peer(die_in_exchange)
         else:
-            bytes_total = bytes_remote = 0
+            for dest, out_entries in self._out.items():
+                out[dest] = encode_routed_batch(out_entries)
+            if die_in_exchange:
+                # Star analog of the mid-exchange kill: die with the
+                # outbound batches encoded but the report never sent.
+                os.kill(os.getpid(), signal.SIGKILL)
+        wire_s += time.perf_counter() - t_wire
 
         return {
             "active": len(active),
             "wall": wall,
             "wire_s": wire_s,
             "sent": self._app,
+            "exchange_bytes": exchange_bytes,
+            "raw_wire": self._raw_wire,
             "counts": {f: getattr(counts, f) for f in _COUNT_FIELDS},
             "traffic": {
                 "app": self._app,
                 "local": self._local,
                 "remote": self._remote,
-                "bytes_total": bytes_total,
-                "bytes_remote": bytes_remote,
+                "bytes_total": self._bytes_total if self.model_network else 0,
+                "bytes_remote": self._bytes_remote if self.model_network else 0,
             },
             "shard_compute": shard_compute,
             "contributions": self._contribs,
             "out": out,
         }
 
+    # -- peer exchange ---------------------------------------------------------
+
+    def _exchange_peer(self, die_in_exchange: bool) -> int:
+        """Move this superstep's batches directly between workers.
+
+        One frame per peer per superstep, always — empty batches included —
+        so every worker knows exactly how many frames to collect.  Frames
+        are encoded into reusable per-peer buffers with the allocation-free
+        ``_into`` paths and shipped with ``send_bytes`` from a dedicated
+        sender thread (sends never wait on receives, so opposing full
+        pipes cannot deadlock); the main thread drains whichever peers are
+        readable and decodes each frame straight out of the reusable
+        receive buffer.  Returns the bytes this worker put on the wire.
+        """
+        sent_bytes = 0
+        for q in self._peer_ids:
+            buf = self._send_bufs[q]
+            del buf[:]
+            encode_routed_batch_into(self._out.get(q, ()), buf)
+            sent_bytes += len(buf)
+
+        def _sender() -> None:
+            first = True
+            for q in self._peer_ids:
+                try:
+                    self.peer_conns[q].send_bytes(self._send_bufs[q])
+                except (BrokenPipeError, OSError):
+                    pass  # receiver died; the recv loop reports it
+                if die_in_exchange and first:
+                    # Injected mid-exchange death: the first peer holds
+                    # this worker's batch, the rest never see theirs.
+                    os.kill(os.getpid(), signal.SIGKILL)
+                first = False
+
+        sender = threading.Thread(target=_sender, daemon=True)
+        sender.start()
+        if die_in_exchange and not self._peer_ids:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+        waiting = {self.peer_conns[q]: q for q in self._peer_ids}
+        dead: Optional[int] = None
+        while waiting and dead is None:
+            for conn in _conn_wait(list(waiting)):
+                q = waiting.pop(conn)
+                try:
+                    nbytes = conn.recv_bytes_into(self._recv_buf)
+                except mp.BufferTooShort as exc:
+                    frame = exc.args[0]
+                    # Grow the reusable buffer so the next oversized frame
+                    # lands in place; decode this one where it arrived.
+                    self._recv_buf = bytearray(2 * len(frame))
+                    entries, end = _decode_routed_entries(frame, 0)
+                    nbytes = len(frame)
+                except (EOFError, OSError):
+                    dead = q
+                    continue
+                else:
+                    entries, end = _decode_routed_entries(self._recv_buf, 0)
+                if end != nbytes:
+                    raise ValueError("trailing bytes after peer frame")
+                if entries:
+                    self._peer_parts.append(entries)
+        if dead is not None:
+            raise _PeerDied(dead)
+        sender.join()
+        return sent_bytes
+
     def collect(self) -> dict[Any, Any]:
         return {vid: ctx._state for vid, ctx in self.contexts.items()}
 
     def snapshot(self) -> dict[str, Any]:
-        """Read-only barrier snapshot: this process's states and the
-        worker-local messages awaiting the next superstep (cross-process
-        batches still sit at the master and are snapshotted there)."""
+        """Read-only barrier snapshot: this process's states plus every
+        message awaiting the next superstep here — the worker-local pending
+        list and, under the peer topology, the in-flight batches already
+        received off the peer pipes (cross-process batches under the star
+        topology sit at the master and are snapshotted there)."""
+        pending = list(self._pending)
+        for part in self._peer_parts:
+            pending.extend(part)
         return {
             "states": self.collect(),
-            "pending": encode_routed_batch(self._pending),
+            "pending": encode_routed_batch(pending),
         }
 
 
 def _worker_main(payload: _ShardPayload, conn) -> None:
+    # Drop the pipe ends inherited over fork that belong to *other* worker
+    # pairs: each peer pipe must be open in exactly its two endpoint
+    # processes, so a worker's death surfaces as EOF there and nowhere else.
+    for other in payload.close_conns or ():
+        other.close()
     try:
         runtime = _WorkerRuntime(payload)
     except BaseException:
@@ -468,13 +703,18 @@ def _worker_main(payload: _ShardPayload, conn) -> None:
             break
         try:
             if op == "step":
-                result = runtime.step(cmd[1], cmd[2], cmd[3])
+                die = cmd[4] if len(cmd) > 4 else False
+                result = runtime.step(cmd[1], cmd[2], cmd[3], die)
             elif op == "collect":
                 result = runtime.collect()
             elif op == "snapshot":
                 result = runtime.snapshot()
             else:
                 raise RuntimeError(f"unknown worker command {op!r}")
+        except _PeerDied as exc:
+            # Not this worker's failure: a peer vanished mid-exchange.  Tell
+            # the master *which* one so recovery blames the right process.
+            conn.send(("peerdead", exc.peer))
         except BaseException as exc:
             try:
                 pickle.dumps(exc)
@@ -491,9 +731,12 @@ class ParallelExecutor:
 
     Long-lived worker processes are forked once per run holding their
     partitions' contexts; each superstep is one round trip per worker over a
-    pipe (step command with aggregates and inbound batches out, report with
-    metrics deltas and outbound batches back).  The master folds reports
-    into the cluster's accounting at the barrier so the modeled metrics are
+    pipe (step command with aggregates out, report with metrics deltas
+    back).  Under the default ``star`` exchange topology the outbound
+    batches ride the report and the master routes them; under ``peer`` the
+    workers ship batches directly over pairwise pipes and the report
+    carries only accounting.  Either way the master folds reports into the
+    cluster's accounting at the barrier so the modeled metrics are
     identical to a serial run's.
     """
 
@@ -503,12 +746,15 @@ class ParallelExecutor:
         self,
         processes: Optional[int] = None,
         fault_plan: Optional[FaultPlan] = None,
+        exchange: Optional[ExchangeConfig] = None,
     ):
         self.processes = processes
         #: Deterministic kill schedule (`repro.runtime.faults`); ``None``
         #: runs fault-free.  Injected kills are real SIGKILLs delivered at
-        #: the top of the scheduled superstep.
+        #: the top of the scheduled superstep (or mid-exchange for
+        #: ``:exchange``-phase actions).
         self.fault_plan = fault_plan
+        self.exchange = exchange or ExchangeConfig()
         self._procs: list = []
         self._conns: list = []
         self._pending_total = 0
@@ -545,7 +791,24 @@ class ParallelExecutor:
         self._procs = []
         self._conns = []
         processor_args = engine.processor_args()
+
+        # Peer topology: one duplex pipe per worker pair, all created
+        # *before* the first fork so every child inherits every end.  Each
+        # child then closes the ends that are not its own (see
+        # ``_worker_main``) and the master closes all of them — leaving each
+        # pipe open in exactly its two endpoints.
+        peer = self.exchange.topology == "peer" and procs > 1
+        peer_conns: list[dict[int, Any]] = [{} for _ in range(procs)]
+        if peer:
+            for a in range(procs):
+                for b in range(a + 1, procs):
+                    end_a, end_b = ctx.Pipe()
+                    peer_conns[a][b] = end_a
+                    peer_conns[b][a] = end_b
+        all_ends = [c for conns in peer_conns for c in conns.values()]
+
         for p in range(procs):
+            own = set(peer_conns[p].values())
             payload = _ShardPayload(
                 graph=engine.graph,
                 program=engine.program,
@@ -561,6 +824,9 @@ class ParallelExecutor:
                 model_network=cluster.model_network,
                 varint=cluster.varint_encoding,
                 processor_args=processor_args,
+                combine=self.exchange.combine,
+                peer_conns=peer_conns[p] if peer else None,
+                close_conns=[c for c in all_ends if c not in own],
             )
             parent_conn, child_conn = ctx.Pipe()
             proc = ctx.Process(target=_worker_main, args=(payload, child_conn), daemon=True)
@@ -568,6 +834,8 @@ class ParallelExecutor:
             child_conn.close()
             self._procs.append(proc)
             self._conns.append(parent_conn)
+        for c in all_ends:
+            c.close()
         self._inbound: list[list] = [[] for _ in range(procs)]
         self._pending_total = 0
 
@@ -601,6 +869,12 @@ class ParallelExecutor:
                 # rollback — unlike the user-program errors below, which
                 # would fail identically on every replay.
                 raise self._worker_died(i) from None
+            if reply[0] == "peerdead":
+                # Worker ``i`` is healthy; it saw EOF on its pipe to the
+                # named peer mid-exchange.  Blame the peer.
+                raise self._worker_died(
+                    reply[1], detail="died during peer barrier exchange"
+                )
             if reply[0] == "error":
                 _, tb, exc = reply
                 if exc is not None:
@@ -613,6 +887,7 @@ class ParallelExecutor:
         engine = self._engine
         cluster = engine.cluster
         self._last_superstep = superstep
+        exchange_victims: set[int] = set()
         if self.fault_plan is not None:
             for victim in self.fault_plan.victims(superstep, self._nprocs):
                 # A real, uncatchable death — the master must discover it
@@ -621,12 +896,23 @@ class ParallelExecutor:
                 if proc.pid is not None and proc.is_alive():
                     kill_process(proc.pid)
                     proc.join(timeout=10)
+            # Exchange-phase kills are shipped with the step command: the
+            # worker SIGKILLs *itself* mid-exchange, after its first peer
+            # frame (or its batches) is already out.  Marked fired here, at
+            # ship time, because the victim never reports back.
+            exchange_victims = set(
+                self.fault_plan.victims(superstep, self._nprocs, phase="exchange")
+            )
         cluster.begin_superstep(superstep)
 
         aggregates = engine._aggregates
         t0 = time.perf_counter()
         for i in range(len(self._conns)):
-            self._send_cmd(i, ("step", superstep, aggregates, self._inbound[i]))
+            self._send_cmd(
+                i,
+                ("step", superstep, aggregates, self._inbound[i],
+                 i in exchange_victims),
+            )
         self._inbound = [[] for _ in range(self._nprocs)]
         reports = self._recv_all()
         compute_wall = time.perf_counter() - t0
@@ -634,6 +920,7 @@ class ParallelExecutor:
         total_active = 0
         pending = 0
         exchange_bytes = 0
+        exchange_raw = 0
         step_compute_calls = 0
         step_scatter_calls = 0
         walls: list[float] = []
@@ -644,8 +931,10 @@ class ParallelExecutor:
             pending += rep["sent"]
             walls.append(rep["wall"])
             wires.append(rep["wire_s"])
-            for dest, (buf, reductions) in rep["out"].items():
-                self._inbound[dest].append((buf, reductions))
+            exchange_bytes += rep["exchange_bytes"]
+            exchange_raw += rep["raw_wire"]
+            for dest, buf in rep["out"].items():
+                self._inbound[dest].append(buf)
                 exchange_bytes += len(buf)
             traffic = rep["traffic"]
             cluster.record_traffic(
@@ -678,6 +967,7 @@ class ParallelExecutor:
         metrics.worker_wall_time += wall_max
         metrics.exchange_time += wire_max
         metrics.exchange_bytes += exchange_bytes
+        metrics.exchange_raw_bytes += exchange_raw
         metrics.peak_inflight_messages = max(metrics.peak_inflight_messages, pending)
 
         step = cluster.end_superstep(metrics)
@@ -685,6 +975,7 @@ class ParallelExecutor:
         step.worker_wall_times = walls
         step.exchange_time = wire_max
         step.exchange_bytes = exchange_bytes
+        step.exchange_raw_bytes = exchange_raw
         step.compute_calls = step_compute_calls
         step.scatter_calls = step_scatter_calls
         return total_active
@@ -701,45 +992,43 @@ class ParallelExecutor:
     def snapshot(self) -> ExecutorSnapshot:
         """Barrier-time snapshot across all worker processes.
 
-        Each worker reports its states and worker-local pending messages;
-        the master adds the cross-process batches still parked in
-        ``_inbound`` (decoded non-destructively — the live bytes stay put
-        for the next superstep).  Entries are merged with one stable sort
-        by sender sequence, recreating the serial delivery order, so the
-        snapshot is executor-neutral.
+        Each worker reports its states and the messages parked with it for
+        the next superstep — its worker-local pending list plus, under the
+        peer topology, the batches already received off the peer pipes;
+        the master adds the cross-process batches still sitting in
+        ``_inbound`` (star topology and restores; decoded
+        non-destructively — the live bytes stay put for the next
+        superstep).  Entries are merged with one stable sort by sender
+        sequence, recreating the serial delivery order, so the snapshot is
+        executor-neutral.
         """
         for i in range(len(self._conns)):
             self._send_cmd(i, ("snapshot",))
         states: dict[Any, Any] = {}
-        pending: list[tuple[int, Any, IntervalMessage]] = []
+        pending: list[tuple] = []
         for rep in self._recv_all():
             states.update(rep["states"])
             pending.extend(decode_routed_batch(rep["pending"]))
-        carried = 0
         for batches in self._inbound:
-            for buf, reductions in batches:
+            for buf in batches:
                 pending.extend(decode_routed_batch(buf))
-                carried += reductions
         pending.sort(key=lambda e: e[0])  # stable: per-sender order kept
         seq = self._engine._seq
         states = {vid: states[vid] for vid in sorted(states, key=seq.__getitem__)}
-        return ExecutorSnapshot(
-            states=states, pending=pending, carried_reductions=carried
-        )
+        return ExecutorSnapshot(states=states, pending=pending)
 
     def restore_pending(self, entries) -> None:
-        """Feed a checkpoint's pending messages back as inbound batches.
-
-        One re-encoded batch per destination process, carrying zero
-        reductions: the checkpoint's ``carried_reductions`` are credited
-        once by the engine, so the batches must not credit them again.
-        """
+        """Feed a checkpoint's pending messages back as inbound batches —
+        one re-encoded batch per destination process.  Combined 5-tuple
+        entries pass through intact, so the first resumed superstep
+        charges the receiver pass for the folded-away raw messages exactly
+        as the original run would have."""
         per_proc: dict[int, list] = {}
         for entry in entries:
             shard = self._partitioner.worker_of(entry[1])
             per_proc.setdefault(self._shard_to_proc[shard], []).append(entry)
         for p, ents in per_proc.items():
-            self._inbound[p].append((encode_routed_batch(ents), 0))
+            self._inbound[p].append(encode_routed_batch(ents))
         self._pending_total = len(entries)
 
     def close(self) -> None:

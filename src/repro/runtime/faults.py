@@ -83,10 +83,18 @@ class FaultAction:
     ``worker`` indexes the executor's *processes* (0-based); plans written
     against more processes than a run actually has wrap via modulo, so a
     seeded plan stays meaningful at any scale.
+
+    ``phase`` refines *when* within the superstep the kill lands: the
+    default ``""`` is the historical top-of-superstep SIGKILL from the
+    master; ``"exchange"`` makes the victim kill itself mid barrier
+    exchange — after its batches are encoded and (in the peer topology)
+    its first peer frame is already on the wire, the hardest moment for
+    recovery to get right.
     """
 
     worker: int
     superstep: int
+    phase: str = ""
     fired: bool = field(default=False, compare=False)
 
 
@@ -127,7 +135,9 @@ class FaultPlan:
         """Parse the ``REPRO_FAULT_PLAN`` environment syntax.
 
         ``"kill:1@3"`` kills worker 1 at superstep 3 (comma-separate for
-        several), ``"seed:42"`` builds :meth:`seeded` with that seed.
+        several), ``"kill:1@3:exchange"`` kills it mid barrier exchange
+        instead of at the top of the superstep, ``"seed:42"`` builds
+        :meth:`seeded` with that seed.
         """
         kind, sep, rest = spec.partition(":")
         if not sep:
@@ -145,24 +155,31 @@ class FaultPlan:
             actions = []
             for part in rest.split(","):
                 worker_s, sep, step_s = part.partition("@")
+                step_s, _, phase = step_s.partition(":")
                 try:
-                    if not sep:
+                    if not sep or phase not in ("", "exchange"):
                         raise ValueError
-                    actions.append(FaultAction(int(worker_s), int(step_s)))
+                    actions.append(FaultAction(int(worker_s), int(step_s), phase))
                 except ValueError:
                     raise ValueError(
-                        f"invalid kill spec {part!r} in {spec!r} (expected 'W@S')"
+                        f"invalid kill spec {part!r} in {spec!r} "
+                        "(expected 'W@S' or 'W@S:exchange')"
                     ) from None
             return cls(actions)
         raise ValueError(
             f"unknown fault plan kind {kind!r} in {spec!r} (expected 'kill' or 'seed')"
         )
 
-    def victims(self, superstep: int, num_procs: int) -> list[int]:
-        """Worker-process indexes to kill at ``superstep``; marks them fired."""
+    def victims(self, superstep: int, num_procs: int, phase: str = "") -> list[int]:
+        """Worker-process indexes to kill at ``superstep`` in ``phase``;
+        marks them fired."""
         out = []
         for action in self.actions:
-            if action.fired or action.superstep != superstep:
+            if (
+                action.fired
+                or action.superstep != superstep
+                or action.phase != phase
+            ):
                 continue
             action.fired = True
             out.append(action.worker % num_procs)
@@ -174,7 +191,9 @@ class FaultPlan:
 
     def __repr__(self) -> str:
         inner = ", ".join(
-            f"{a.worker}@{a.superstep}{'*' if a.fired else ''}" for a in self.actions
+            f"{a.worker}@{a.superstep}"
+            f"{':' + a.phase if a.phase else ''}{'*' if a.fired else ''}"
+            for a in self.actions
         )
         return f"FaultPlan({inner})"
 

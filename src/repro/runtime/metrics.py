@@ -32,6 +32,9 @@ class SuperstepMetrics:
     scatter_calls: int = 0
     messages: int = 0
     bytes: int = 0
+    #: Modeled bytes that stayed on their worker (``bytes`` is the remote
+    #: side of the same split).
+    local_bytes: int = 0
     compute_time: float = 0.0
     messaging_time: float = 0.0
     max_worker_compute_time: float = 0.0
@@ -44,6 +47,9 @@ class SuperstepMetrics:
     exchange_time: float = 0.0
     #: Real bytes crossing process boundaries at the barrier (0 serial).
     exchange_bytes: int = 0
+    #: Bytes the same exchange would have shipped without sender-side
+    #: combining (0 serial; equals ``exchange_bytes`` when nothing folded).
+    exchange_raw_bytes: int = 0
 
 
 @dataclass
@@ -120,6 +126,8 @@ class RunMetrics:
     exchange_time: float = 0.0
     #: Real bytes shipped between worker processes (0 serial).
     exchange_bytes: int = 0
+    #: What the exchange would have shipped uncombined (0 serial).
+    exchange_raw_bytes: int = 0
     messaging_time: float = 0.0
     barrier_time: float = 0.0
     load_time: float = 0.0
@@ -157,6 +165,7 @@ class RunMetrics:
         self.worker_wall_time += other.worker_wall_time
         self.exchange_time += other.exchange_time
         self.exchange_bytes += other.exchange_bytes
+        self.exchange_raw_bytes += other.exchange_raw_bytes
         self.messaging_time += other.messaging_time
         self.barrier_time += other.barrier_time
         self.load_time += other.load_time

@@ -7,17 +7,22 @@ from hypothesis import strategies as st
 from repro.core.interval import FOREVER, Interval
 from repro.core.messages import IntervalMessage, message
 from repro.runtime.encoding import (
+    ROUTED_BATCH_FORMAT,
+    _decode_routed_entries,
     decode_interval,
     decode_message,
     decode_payload,
+    decode_routed_batch,
     decode_varint,
     encode_interval,
     encode_message,
     encode_payload,
+    encode_routed_batch,
     encode_varint,
     encoded_message_size,
     interval_size,
     payload_size,
+    routed_entry_size,
     varint_size,
 )
 
@@ -174,3 +179,100 @@ def test_message_roundtrip_property(start, length, value):
     decoded = decode_message(encode_message(msg))
     assert decoded == msg
     assert len(encode_message(msg)) == encoded_message_size(msg)
+
+
+# -- routed batches (wire format 2) -------------------------------------------
+
+_SCAN_S = 5e-7  # ComputeModel.per_message_scan_s default
+
+routed_entries = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2**40),  # sender seq
+        payloads,                                   # destination vertex id
+        st.integers(min_value=0, max_value=2**30),  # interval start
+        st.integers(min_value=1, max_value=2**20),  # interval length
+        payloads,                                   # message value
+        st.integers(min_value=1, max_value=2**20),  # raw message count
+    ),
+    max_size=30,
+)
+
+
+def _build_entries(raw):
+    """Mixed 3-tuple (count 1) and 5-tuple (combined) routed entries, with
+    the charge the sender would compute: ``count * per_message_scan_s``."""
+    entries = []
+    for seq, dst, start, length, value, count in raw:
+        msg = IntervalMessage(Interval(start, start + length), value)
+        if count == 1:
+            entries.append((seq, dst, msg))
+        else:
+            entries.append((seq, dst, msg, count, count * _SCAN_S))
+    return entries
+
+
+@given(routed_entries)
+@settings(max_examples=200, deadline=None)
+def test_routed_batch_roundtrip_property(raw):
+    entries = _build_entries(raw)
+    buf = encode_routed_batch(entries)
+    assert buf[0] == ROUTED_BATCH_FORMAT
+    decoded = decode_routed_batch(buf)
+    assert decoded == entries
+    # Combined entries must carry their exact float charge through the wire
+    # (struct '<d' is lossless) and it must equal count x scan cost — the
+    # receiver recomputes the charge from the integer count, and the tests
+    # here pin that both spellings agree bit-for-bit.
+    for entry in decoded:
+        if len(entry) == 5:
+            assert entry[4] == entry[3] * _SCAN_S
+
+
+@given(routed_entries)
+@settings(max_examples=100, deadline=None)
+def test_routed_batch_decodes_from_offset_in_larger_buffer(raw):
+    """The peer exchange decodes frames out of an oversized reusable
+    receive buffer: decode must honour the offset and report where the
+    batch ended instead of demanding an exact-length buffer."""
+    entries = _build_entries(raw)
+    frame = encode_routed_batch(entries)
+    buf = bytearray(b"\xff" * 7)
+    buf += frame
+    buf += b"\xee" * 11
+    decoded, end = _decode_routed_entries(buf, 7)
+    assert decoded == entries
+    assert end == 7 + len(frame)
+
+
+def test_routed_batch_rejects_old_format_naming_both_versions():
+    """A format-1 batch (no leading format byte — its first byte is the
+    entry-count varint) must be refused with both wire versions named, not
+    misdecoded."""
+    legacy_first_byte = bytes([1])  # count varint of a 1-entry v1 batch
+    with pytest.raises(ValueError, match=r"format 1.*format 2|format 2.*format 1"):
+        decode_routed_batch(legacy_first_byte + b"\x00" * 8)
+
+
+def test_routed_batch_rejects_future_format():
+    with pytest.raises(ValueError, match="format 7"):
+        decode_routed_batch(bytes([7]) + b"\x00" * 4)
+
+
+def test_routed_batch_rejects_trailing_bytes():
+    buf = encode_routed_batch([(0, "v1", message(0, 1, 5))]) + b"\x00"
+    with pytest.raises(ValueError, match="trailing"):
+        decode_routed_batch(buf)
+
+
+def test_routed_entry_size_matches_uncombined_encoding():
+    """``routed_entry_size`` is the per-entry byte accounting behind
+    ``exchange_raw_bytes``: it must equal exactly what one uncombined
+    3-tuple entry contributes to an encoded batch."""
+    entries = [
+        (7, "stop:42", message(3, 9, 14)),
+        (123456, ("line", 8), IntervalMessage(Interval(0, 2**20), -5.5)),
+    ]
+    for entry in entries:
+        alone = len(encode_routed_batch([entry]))
+        empty = len(encode_routed_batch([]))
+        assert routed_entry_size(*entry) == alone - empty

@@ -66,11 +66,14 @@ def _run(algorithm, observe=None, **icm_options):
     )
 
 
+@pytest.mark.parametrize("topology", ("star", "peer"))
 @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
-def test_parallel_matches_serial(algorithm):
+def test_parallel_matches_serial(algorithm, topology):
     serial_events, parallel_events = InMemoryEvents(), InMemoryEvents()
     serial = _run(algorithm, observe=serial_events)
-    parallel = _run(algorithm, observe=parallel_events, **PARALLEL)
+    parallel = _run(
+        algorithm, observe=parallel_events, exchange=topology, **PARALLEL
+    )
 
     assert _partitions(serial.result) == _partitions(parallel.result)
     if hasattr(serial.result, "aggregates"):
@@ -85,17 +88,23 @@ def test_parallel_matches_serial(algorithm):
         assert serial_events.logical() == parallel_events.logical()
 
 
+@pytest.mark.parametrize("topology", ("star", "peer"))
 @pytest.mark.parametrize("algorithm", ("BFS", "SSSP", "PR"))
 @pytest.mark.parametrize("partitioner", PARTITIONER_KINDS)
-def test_parallel_matches_serial_under_every_partitioner(algorithm, partitioner):
+def test_parallel_matches_serial_under_every_partitioner(
+    algorithm, partitioner, topology
+):
     """Placement moves messages between workers, never changes results.
 
     The executors must stay bit-identical whichever partitioner shards the
     graph — including the greedy ones, whose shard sizes are deliberately
-    uneven — and both must agree on the byte-level locality split.
+    uneven — under either exchange topology, and all must agree on the
+    byte-level locality split.
     """
     serial = _run(algorithm, executor="serial", partitioner=partitioner)
-    parallel = _run(algorithm, partitioner=partitioner, **PARALLEL)
+    parallel = _run(
+        algorithm, partitioner=partitioner, exchange=topology, **PARALLEL
+    )
 
     assert _partitions(serial.result) == _partitions(parallel.result)
     for fld in EXACT_FIELDS + ("local_message_bytes", "remote_message_bytes"):
