@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for the ``repro.serve`` daemon — the CI leg.
+
+Spawns a real ``python -m repro serve`` daemon subprocess (concurrency 1,
+queue depth 0, so backpressure is forced deterministically), then drives
+it over the Unix socket through the real wire client:
+
+1. wait for the socket and ``ping``;
+2. a cold query (engine run, cache miss);
+3. the identical query again — must be a cache hit with a byte-identical
+   payload, and the daemon's stats counter must read exactly one hit;
+4. a held query (``hold_s``) pinning the single lane while a concurrent
+   query is rejected with the typed ``queue_full`` backpressure error;
+5. a different-interval query — a distinct cache key, answered cold;
+6. a clean ``shutdown`` frame: the daemon exits 0 and removes its socket.
+
+Exits non-zero (via assert) on any violation.  No third-party deps.
+
+Usage::
+
+    PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve import QueueFullError  # noqa: E402
+from repro.serve.client import QueryClient  # noqa: E402
+
+
+def main() -> int:
+    tmp = tempfile.mkdtemp(prefix="repro-serve-smoke-")
+    socket_path = os.path.join(tmp, "repro.sock")
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--socket", socket_path,
+         "--dataset", "transit", "--workers", "4",
+         "--max-concurrency", "1", "--queue-depth", "0"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    try:
+        with QueryClient.connect(socket_path, timeout_s=30.0) as client:
+            assert client.ping(), "daemon did not answer ping"
+            print("ping: ok")
+
+            cold = client.query("SSSP", params={"source": "A"})
+            assert not cold.cache_hit, "first query must be a cache miss"
+            assert cold.doc["vertices"], "cold answer carried no vertices"
+            print(f"cold query: ok ({cold.latency_s * 1e3:.1f} ms)")
+
+            warm = client.query("SSSP", params={"source": "A"})
+            assert warm.cache_hit, "repeat query must be a cache hit"
+            assert warm.payload == cold.payload, (
+                "cache hit diverged from the cold answer"
+            )
+            stats = client.stats()
+            assert stats["cache_hits"] == 1, (
+                f"expected exactly 1 cache hit, stats say "
+                f"{stats['cache_hits']}"
+            )
+            print(f"cache hit: ok ({warm.latency_s * 1e6:.0f} us, "
+                  f"counter == 1)")
+
+            # Pin the single lane with a held query on a second
+            # connection; with queue depth 0 a concurrent query must be
+            # rejected with the typed backpressure error.
+            with QueryClient.connect(socket_path) as holder:
+                held = threading.Thread(
+                    target=lambda: holder.query(
+                        "BFS", params={"source": "B"},
+                        options={"hold_s": 2.0, "no_cache": True}))
+                held.start()
+                rejected = False
+                try:
+                    import time
+
+                    time.sleep(0.5)  # let the held query take the lane
+                    client.query("PR", options={"no_cache": True})
+                except QueueFullError as exc:
+                    rejected = True
+                    assert exc.code == "queue_full"
+                finally:
+                    held.join()
+            assert rejected, "queue-full rejection never fired"
+            print("backpressure: ok (typed queue_full rejection)")
+
+            sliced = client.query("SSSP", params={"source": "A"},
+                                  interval=(0, 3))
+            assert not sliced.cache_hit, (
+                "a different interval must be a distinct cache key"
+            )
+            assert sliced.payload != cold.payload, (
+                "interval slice answered with the full-horizon payload"
+            )
+            print("interval query: ok (distinct cache key)")
+
+            client.shutdown()
+        daemon.wait(timeout=30)
+        assert daemon.returncode == 0, (
+            f"daemon exited {daemon.returncode}, expected 0"
+        )
+        assert not os.path.exists(socket_path), (
+            "daemon left its socket file behind"
+        )
+        print("shutdown: ok (exit 0, socket removed)")
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+        out = daemon.stdout.read() if daemon.stdout else ""
+        if out:
+            print("--- daemon output ---")
+            print(out, end="")
+    print("serve smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

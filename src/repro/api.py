@@ -41,6 +41,7 @@ from repro.core.config import (
     ExecutorConfig,
     ObservabilityConfig,
     PartitioningConfig,
+    ServeConfig,
     StateConfig,
     WarpConfig,
 )
@@ -56,11 +57,13 @@ __all__ = [
     "IntervalCentricEngine",
     "ObservabilityConfig",
     "PartitioningConfig",
+    "ServeConfig",
     "StateConfig",
     "WarpConfig",
     "build_engine",
     "compare",
     "run",
+    "serve",
 ]
 
 
@@ -91,6 +94,7 @@ def build_engine(
     config: Optional[EngineConfig] = None,
     options: Optional[dict] = None,
     observe: Any = None,
+    platform: str = "GRAPHITE",
 ) -> IntervalCentricEngine:
     """Construct a configured engine (without running it).
 
@@ -99,11 +103,15 @@ def build_engine(
     ``{"partitioner": "greedy"}``) applied via
     :meth:`EngineConfig.with_options` — no deprecation warnings, this is
     the supported programmatic spelling; ``observe`` adds observability on
-    top (path / observer / iterable / :class:`ObservabilityConfig`).
+    top (path / observer / iterable / :class:`ObservabilityConfig`);
+    ``platform`` is the label stamped on the run's metrics and
+    ``run_start`` event (override it when wrapping the engine as a
+    baseline platform).
     """
     cfg = _effective_config(config, options, observe)
     return IntervalCentricEngine(
-        graph, program, cluster=cluster, graph_name=graph_name, config=cfg
+        graph, program, cluster=cluster, graph_name=graph_name, config=cfg,
+        platform=platform,
     )
 
 
@@ -116,6 +124,7 @@ def run(
     config: Optional[EngineConfig] = None,
     options: Optional[dict] = None,
     observe: Any = None,
+    platform: str = "GRAPHITE",
     warm_states: Optional[dict] = None,
     rescatter: Optional[dict] = None,
     resume_from: Optional[str] = None,
@@ -133,6 +142,7 @@ def run(
         config=config,
         options=options,
         observe=observe,
+        platform=platform,
     )
     return engine.run(
         warm_states=warm_states, rescatter=rescatter, resume_from=resume_from
@@ -159,23 +169,109 @@ def compare(
     explicit ``cluster`` is given (sharing one cluster across platforms
     would let one platform's traffic history leak into another's model).
     GRAPHITE runs honour ``config``/``options``/``observe``; baseline
-    platforms have no engine to configure.
+    platforms have no engine to configure, but when ``observe`` is given
+    their outcomes are still recorded into the shared trace as a
+    synthesized ``run_start``/``run_end`` pair tagged with the platform
+    name — so a multi-platform comparison trace stays attributable
+    per-platform in ``repro report`` and ``scripts/diff_traces.py``.
     """
     from repro.algorithms.runners import platforms_for, run_algorithm
 
     outcomes = []
     for platform in platforms or platforms_for(algorithm):
-        outcomes.append(
-            run_algorithm(
-                algorithm,
-                platform,
-                graph,
-                cluster=cluster or SimulatedCluster(workers),
-                graph_name=graph_name,
-                config=config,
-                icm_options=options,
-                observe=observe,
-                **runner_kwargs,
-            )
+        outcome = run_algorithm(
+            algorithm,
+            platform,
+            graph,
+            cluster=cluster or SimulatedCluster(workers),
+            graph_name=graph_name,
+            config=config,
+            icm_options=options,
+            observe=observe,
+            **runner_kwargs,
         )
+        if observe is not None and platform != "GRAPHITE":
+            _emit_baseline_run_events(observe, algorithm, graph_name,
+                                      outcome.metrics)
+        outcomes.append(outcome)
     return outcomes
+
+
+def _emit_baseline_run_events(observe, algorithm, graph_name, metrics) -> None:
+    """Record a baseline platform's run into a shared comparison trace.
+
+    Baseline engines emit no structured events of their own; this
+    synthesizes the run-level bracket (``run_start``/``run_end``) from
+    their :class:`~repro.runtime.metrics.RunMetrics` so every run in a
+    ``compare(..., observe=...)`` trace carries its platform tag.
+    Partition facts are empty — baselines do not report placement.
+    """
+    from repro.obs.events import EventStream
+    from repro.obs.observers import JsonlTraceWriter
+
+    obs = ObservabilityConfig.coerce(observe)
+    observers = list(obs.observers)
+    if obs.trace_path is not None:
+        observers.append(JsonlTraceWriter(obs.trace_path))
+    if not observers:
+        return
+    stream = EventStream(observers)
+    stream.emit(
+        "run_start",
+        data={
+            "algorithm": metrics.algorithm or algorithm,
+            "graph": metrics.graph or graph_name,
+            "platform": metrics.platform,
+            "resumed_from": None,
+            "partitioner": "",
+            "partition_edge_cut": 0.0,
+            "worker_vertex_load": [],
+            "worker_edge_load": [],
+        },
+        wall={"executor": metrics.executor or "serial"},
+    )
+    stream.emit(
+        "run_end",
+        data={
+            "supersteps": metrics.supersteps,
+            "compute_calls": metrics.compute_calls,
+            "scatter_calls": metrics.scatter_calls,
+            "messages_sent": metrics.messages_sent,
+            "message_bytes": metrics.message_bytes,
+            "modeled_makespan_s": metrics.modeled_makespan,
+        },
+        wall={"makespan_s": metrics.makespan},
+    )
+    stream.close()
+
+
+def serve(
+    graph,
+    *,
+    graph_name: str = "",
+    workers: int = 8,
+    config: Optional[EngineConfig] = None,
+    options: Optional[dict] = None,
+    observe: Any = None,
+):
+    """Build a long-lived :class:`~repro.serve.GraphService` for ``graph``.
+
+    The service loads and partitions the graph once, keeps a warm executor
+    resident per concurrency lane, and answers
+    :class:`~repro.serve.QueryRequest`\\ s through an admission queue and
+    an interval-aware result cache.  ``config``/``options``/``observe``
+    mean exactly what they mean for :func:`run`; the serving knobs live in
+    ``config.serve`` (:class:`ServeConfig`, flat options
+    ``serve_max_concurrency``/``serve_queue_depth``/``serve_cache_bytes``/
+    ``serve_timeout_s``, env ``REPRO_SERVE_*``).
+    """
+    from repro.serve.service import GraphService
+
+    cfg = _effective_config(config, options, None)
+    return GraphService(
+        graph,
+        graph_name=graph_name,
+        workers=workers,
+        config=cfg,
+        observe=observe,
+    )

@@ -11,11 +11,14 @@ Commands
 ``trace``     Render a Fig-2-style execution trace of an ICM run.
 ``report``    Rebuild a Table-4-style breakdown from a saved event trace.
 ``journeys``  Enumerate time-respecting journeys between two vertices.
+``serve``     Run a long-lived query daemon over a resident graph.
+``query``     Query (or inspect / shut down) a running daemon.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -42,9 +45,38 @@ def _load(name: str, scale: float):
     return load_surrogate(name, scale=scale)
 
 
-def _icm_options(args: argparse.Namespace) -> dict:
-    """Executor/partitioner selection forwarded to GRAPHITE engine
-    constructions."""
+def add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    """The engine-selection flags every engine-running command shares
+    (``run``, ``compare``, ``trace``, ``serve``, …).  One definition site:
+    a flag added or renamed here reaches all of them identically —
+    :func:`engine_options` is its parsing counterpart and a regression
+    test pins the two against drift."""
+    parser.add_argument("--executor", choices=("serial", "parallel"),
+                        default=None,
+                        help="execution backend for GRAPHITE runs "
+                             "(default: REPRO_EXECUTOR env var or serial)")
+    parser.add_argument("--processes", type=int, default=None,
+                        help="worker processes for --executor parallel "
+                             "(default: one per available core)")
+    parser.add_argument("--partitioner",
+                        choices=("hash", "range", "greedy", "interval_greedy"),
+                        default=None,
+                        help="vertex-to-worker placement for GRAPHITE runs "
+                             "(default: REPRO_PARTITIONER env var or hash)")
+    parser.add_argument("--exchange", choices=("star", "peer"),
+                        default=None,
+                        help="parallel barrier data plane: 'star' routes "
+                             "batches through the master, 'peer' ships them "
+                             "over direct worker-to-worker pipes "
+                             "(default: REPRO_EXCHANGE env var or star)")
+
+
+def engine_options(args: argparse.Namespace) -> dict:
+    """Map the :func:`add_engine_flags` flags (plus the run-only
+    checkpoint flags) to flat engine options for
+    :meth:`EngineConfig.with_options` — shared by ``run``, ``compare``
+    and ``serve`` so the two daemons of the CLI can never drift apart in
+    how they configure an engine."""
     options: dict = {}
     if getattr(args, "executor", None) is not None:
         options["executor"] = args.executor
@@ -61,13 +93,17 @@ def _icm_options(args: argparse.Namespace) -> dict:
     return options
 
 
+# Backwards-compatible alias (the helper predates the serving tier).
+_icm_options = engine_options
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     graph = _load(args.dataset, args.scale)
     outcome = run_algorithm(
         args.algorithm, args.platform, graph,
         cluster=SimulatedCluster(args.workers),
         graph_name=args.dataset,
-        icm_options=_icm_options(args),
+        icm_options=engine_options(args),
         observe=args.trace_out,
         resume_from=args.resume,
     )
@@ -90,7 +126,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     base: Optional[float] = None
     outcomes = api.compare(
         args.algorithm, graph, workers=args.workers,
-        graph_name=args.dataset, options=_icm_options(args),
+        graph_name=args.dataset, options=engine_options(args),
     )
     for outcome in outcomes:
         metrics = outcome.metrics
@@ -200,6 +236,89 @@ def cmd_journeys(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.serve.daemon import ServeDaemon
+
+    graph = _load(args.dataset, args.scale)
+    options = engine_options(args)
+    if args.max_concurrency is not None:
+        options["serve_max_concurrency"] = args.max_concurrency
+    if args.queue_depth is not None:
+        options["serve_queue_depth"] = args.queue_depth
+    if args.cache_bytes is not None:
+        options["serve_cache_bytes"] = args.cache_bytes
+    if args.timeout is not None:
+        options["serve_timeout_s"] = args.timeout
+    service = api.serve(
+        graph, graph_name=args.dataset, workers=args.workers,
+        options=options, observe=args.trace_out,
+    )
+    daemon = ServeDaemon(service, args.socket)
+    daemon.start()
+
+    def _stop(signum, frame):
+        daemon.request_shutdown()
+
+    signal.signal(signal.SIGTERM, _stop)
+    signal.signal(signal.SIGINT, _stop)
+    print(f"serving {args.dataset} ({graph.num_vertices} vertices, "
+          f"{graph.num_edges} edges) on {args.socket}", flush=True)
+    daemon.serve_forever()
+    if args.metrics_out is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(prometheus_text(service.metrics))
+        print(f"  metrics written to {args.metrics_out}")
+    print("shut down cleanly:")
+    print(render_summary(service.metrics))
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    from repro.serve.client import QueryClient
+    from repro.serve.errors import ServeError
+
+    try:
+        with QueryClient.connect(args.socket) as client:
+            if args.stats:
+                print(json.dumps(client.stats(), indent=2, sort_keys=True))
+                return 0
+            if args.shutdown:
+                client.shutdown()
+                print("daemon shutting down")
+                return 0
+            if args.algorithm is None:
+                print("query needs an algorithm (or --stats / --shutdown)")
+                return 2
+            params = {"source": args.source} if args.source else {}
+            options: dict = {}
+            if args.timeout is not None:
+                options["timeout_s"] = args.timeout
+            if args.no_cache:
+                options["no_cache"] = True
+            answer = client.query(
+                args.algorithm,
+                params=params,
+                interval=tuple(args.interval) if args.interval else None,
+                options=options,
+            )
+    except ServeError as exc:
+        print(f"query failed [{exc.code}]: {exc}")
+        return 1
+    if args.json:
+        print(answer.payload)
+        return 0
+    doc = answer.doc
+    window = (f"[{answer.interval[0]}, {answer.interval[1]})"
+              if answer.interval else "full horizon")
+    print(f"{answer.algorithm} over {window}: "
+          f"{len(doc['vertices'])} vertices, "
+          f"{'cache hit' if answer.cache_hit else 'computed'}, "
+          f"{answer.latency_s * 1e3:.3f} ms (--json for full results)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -213,24 +332,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="surrogate size multiplier (default 0.5)")
         p.add_argument("--workers", type=int, default=8,
                        help="simulated cluster size (default 8)")
-        p.add_argument("--executor", choices=("serial", "parallel"),
-                       default=None,
-                       help="execution backend for GRAPHITE runs "
-                            "(default: REPRO_EXECUTOR env var or serial)")
-        p.add_argument("--processes", type=int, default=None,
-                       help="worker processes for --executor parallel "
-                            "(default: one per available core)")
-        p.add_argument("--partitioner",
-                       choices=("hash", "range", "greedy", "interval_greedy"),
-                       default=None,
-                       help="vertex-to-worker placement for GRAPHITE runs "
-                            "(default: REPRO_PARTITIONER env var or hash)")
-        p.add_argument("--exchange", choices=("star", "peer"),
-                       default=None,
-                       help="parallel barrier data plane: 'star' routes "
-                            "batches through the master, 'peer' ships them "
-                            "over direct worker-to-worker pipes "
-                            "(default: REPRO_EXCHANGE env var or star)")
+        add_engine_flags(p)
 
     p_run = sub.add_parser("run", help="run one algorithm on one platform")
     p_run.add_argument("algorithm", choices=ALL_ALGORITHMS)
@@ -292,6 +394,54 @@ def build_parser() -> argparse.ArgumentParser:
     p_jn.add_argument("--limit", type=int, default=20)
     add_common(p_jn)
     p_jn.set_defaults(fn=cmd_journeys)
+
+    p_sv = sub.add_parser("serve",
+                          help="serve queries over a resident graph")
+    p_sv.add_argument("--socket", required=True, metavar="PATH",
+                      help="Unix socket path to listen on")
+    p_sv.add_argument("--max-concurrency", type=int, default=None,
+                      help="execution lanes (default: REPRO_SERVE_CONCURRENCY "
+                           "or 1)")
+    p_sv.add_argument("--queue-depth", type=int, default=None,
+                      help="admission queue depth before queries are "
+                           "rejected (default: REPRO_SERVE_QUEUE_DEPTH or 8)")
+    p_sv.add_argument("--cache-bytes", type=int, default=None,
+                      help="result cache byte budget, 0 disables "
+                           "(default: REPRO_SERVE_CACHE_BYTES or 16 MiB)")
+    p_sv.add_argument("--timeout", type=float, default=None, metavar="S",
+                      help="default per-query deadline in seconds "
+                           "(default: REPRO_SERVE_TIMEOUT_S or none)")
+    p_sv.add_argument("--trace-out", default=None, metavar="FILE",
+                      help="append a JSON-lines event trace of all queries "
+                           "and the runs answering them")
+    p_sv.add_argument("--metrics-out", default=None, metavar="FILE",
+                      help="write serving metrics in Prometheus text format "
+                           "on shutdown")
+    add_common(p_sv)
+    p_sv.set_defaults(fn=cmd_serve)
+
+    p_q = sub.add_parser("query", help="query a running serve daemon")
+    p_q.add_argument("algorithm", nargs="?",
+                     choices=("BFS", "SSSP", "PR", "EAT", "RH"),
+                     help="algorithm to query (omit with --stats/--shutdown)")
+    p_q.add_argument("--socket", required=True, metavar="PATH",
+                     help="the daemon's Unix socket path")
+    p_q.add_argument("--source", default=None,
+                     help="source vertex id (default: highest out-degree)")
+    p_q.add_argument("--interval", nargs=2, type=int, default=None,
+                     metavar=("START", "END"),
+                     help="half-open query interval; omit for the full graph")
+    p_q.add_argument("--timeout", type=float, default=None, metavar="S",
+                     help="per-query deadline in seconds")
+    p_q.add_argument("--no-cache", action="store_true",
+                     help="bypass the daemon's result cache")
+    p_q.add_argument("--json", action="store_true",
+                     help="print the full result JSON document")
+    p_q.add_argument("--stats", action="store_true",
+                     help="print the daemon's serving counters and exit")
+    p_q.add_argument("--shutdown", action="store_true",
+                     help="ask the daemon to shut down cleanly and exit")
+    p_q.set_defaults(fn=cmd_query)
     return parser
 
 

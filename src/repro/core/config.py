@@ -19,6 +19,10 @@ Environment resolution lives in exactly one documented place,
 ``REPRO_PARTITIONER``         ``hash`` | ``range`` | ``greedy`` |
                               ``interval_greedy`` → ``partitioning.kind``
 ``REPRO_EXCHANGE``            ``star`` | ``peer`` → ``exchange.topology``
+``REPRO_SERVE_CONCURRENCY``   positive int → ``serve.max_concurrency``
+``REPRO_SERVE_QUEUE_DEPTH``   non-negative int → ``serve.max_queue_depth``
+``REPRO_SERVE_CACHE_BYTES``   non-negative int → ``serve.cache_bytes``
+``REPRO_SERVE_TIMEOUT_S``     positive float → ``serve.default_timeout_s``
 ============================  =================================================
 
 Every variable is validated eagerly — a typo fails loudly, naming the
@@ -47,6 +51,7 @@ __all__ = [
     "ExecutorConfig",
     "ObservabilityConfig",
     "PartitioningConfig",
+    "ServeConfig",
     "StateConfig",
     "WarpConfig",
 ]
@@ -210,6 +215,46 @@ class CheckpointConfig:
 
 
 @dataclass(frozen=True)
+class ServeConfig:
+    """The query-serving tier (`repro.serve`).
+
+    Governs a long-lived :class:`~repro.serve.GraphService`: how many
+    queries may execute concurrently (``max_concurrency`` warm execution
+    lanes, each with its own resident executor), how many may wait behind
+    them (``max_queue_depth``; exceeding it rejects with
+    :class:`~repro.serve.QueueFullError`), the result cache's byte budget
+    (``cache_bytes``; 0 disables caching), and the default per-query
+    deadline (``default_timeout_s``; ``None`` means no deadline — a query
+    can still set its own).  Like observability, none of this influences
+    what a query *computes*, only how the service schedules and caches it.
+    """
+
+    max_concurrency: int = 1
+    max_queue_depth: int = 8
+    cache_bytes: int = 16 * 1024 * 1024
+    default_timeout_s: Optional[float] = None
+
+    def __post_init__(self):
+        if self.max_concurrency < 1:
+            raise ValueError(
+                f"serve max_concurrency must be >= 1, got {self.max_concurrency}"
+            )
+        if self.max_queue_depth < 0:
+            raise ValueError(
+                f"serve max_queue_depth must be >= 0, got {self.max_queue_depth}"
+            )
+        if self.cache_bytes < 0:
+            raise ValueError(
+                f"serve cache_bytes must be >= 0, got {self.cache_bytes}"
+            )
+        if self.default_timeout_s is not None and self.default_timeout_s <= 0:
+            raise ValueError(
+                f"serve default_timeout_s must be positive, "
+                f"got {self.default_timeout_s}"
+            )
+
+
+@dataclass(frozen=True)
 class ObservabilityConfig:
     """What the run reports, never what it computes.
 
@@ -289,6 +334,23 @@ def _env_int(env: Mapping[str, str], name: str, *, minimum: int) -> Optional[int
     return value
 
 
+def _env_float(
+    env: Mapping[str, str], name: str, *, positive: bool = True
+) -> Optional[float]:
+    raw = env.get(name)
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"invalid {name}={raw!r} (expected a positive number)"
+        ) from None
+    if positive and value <= 0:
+        raise ValueError(f"invalid {name}={raw!r} (expected a positive number)")
+    return value
+
+
 def _env_executor_kind(env: Mapping[str, str]) -> Optional[str]:
     raw = env.get("REPRO_EXECUTOR")
     if not raw:
@@ -338,6 +400,16 @@ def _env_fault_plan(env: Mapping[str, str]) -> Optional[str]:
     return raw
 
 
+def _serve_queue_depth_env(env: Mapping[str, str]) -> int:
+    value = _env_int(env, "REPRO_SERVE_QUEUE_DEPTH", minimum=0)
+    return ServeConfig.max_queue_depth if value is None else value
+
+
+def _serve_cache_bytes_env(env: Mapping[str, str]) -> int:
+    value = _env_int(env, "REPRO_SERVE_CACHE_BYTES", minimum=0)
+    return ServeConfig.cache_bytes if value is None else value
+
+
 #: Legacy ``IntervalCentricEngine`` kwarg → (config group, field).  The one
 #: mapping table behind the deprecation shim, ``icm_options`` dicts, and the
 #: CLI flags.
@@ -361,6 +433,10 @@ _OPTION_MAP: dict[str, tuple[Optional[str], str]] = {
     "checkpoint_every": ("checkpoint", "every"),
     "checkpoint_dir": ("checkpoint", "dir"),
     "max_restarts": ("checkpoint", "max_restarts"),
+    "serve_max_concurrency": ("serve", "max_concurrency"),
+    "serve_queue_depth": ("serve", "max_queue_depth"),
+    "serve_cache_bytes": ("serve", "cache_bytes"),
+    "serve_timeout_s": ("serve", "default_timeout_s"),
     "tracer": ("observability", "tracer"),
     "trace_path": ("observability", "trace_path"),
     "max_supersteps": (None, "max_supersteps"),
@@ -373,6 +449,7 @@ _GROUP_CLASS_NAMES = {
     "exchange": "ExchangeConfig",
     "partitioning": "PartitioningConfig",
     "checkpoint": "CheckpointConfig",
+    "serve": "ServeConfig",
     "observability": "ObservabilityConfig",
 }
 
@@ -387,6 +464,7 @@ class EngineConfig:
     exchange: ExchangeConfig = field(default_factory=ExchangeConfig)
     partitioning: PartitioningConfig = field(default_factory=PartitioningConfig)
     checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
+    serve: ServeConfig = field(default_factory=ServeConfig)
     observability: ObservabilityConfig = field(default_factory=ObservabilityConfig)
     #: Safety valve; exceeding it raises ``RuntimeError``.
     max_supersteps: int = 100_000
@@ -419,6 +497,14 @@ class EngineConfig:
             checkpoint=CheckpointConfig(
                 every=_env_int(env, "REPRO_CHECKPOINT_EVERY", minimum=0),
                 dir=env.get("REPRO_CHECKPOINT_DIR") or None,
+            ),
+            serve=ServeConfig(
+                max_concurrency=_env_int(
+                    env, "REPRO_SERVE_CONCURRENCY", minimum=1
+                ) or ServeConfig.max_concurrency,
+                max_queue_depth=_serve_queue_depth_env(env),
+                cache_bytes=_serve_cache_bytes_env(env),
+                default_timeout_s=_env_float(env, "REPRO_SERVE_TIMEOUT_S"),
             ),
         )
 

@@ -486,6 +486,7 @@ class IntervalCentricEngine:
         cluster: Optional[SimulatedCluster] = None,
         graph_name: str = "",
         config: Optional[EngineConfig] = None,
+        platform: str = "GRAPHITE",
         **legacy_kwargs: Any,
     ):
         if legacy_kwargs:
@@ -515,6 +516,12 @@ class IntervalCentricEngine:
                 capacity_slack=partitioning.capacity_slack,
             )
         self.graph_name = graph_name
+        #: The platform label stamped on ``run_start`` events and
+        #: ``RunMetrics`` — "GRAPHITE" for the paper's own engine; callers
+        #: wrapping this engine as a *baseline* platform (or replaying a
+        #: comparison into one shared trace) override it so multi-platform
+        #: traces stay attributable in ``repro report``/``diff_traces``.
+        self.platform = platform
         # Mirror attributes: the flat names the rest of the stack (and the
         # checkpoint config fingerprint — its payload must stay byte-stable
         # across this refactor) reads.
@@ -727,7 +734,7 @@ class IntervalCentricEngine:
                 data={
                     "algorithm": self.program.name,
                     "graph": self.graph_name,
-                    "platform": "GRAPHITE",
+                    "platform": self.platform,
                     "resumed_from": resume_ckpt.superstep if resume_ckpt else None,
                     "partitioner": current_partitioner,
                     "partition_edge_cut": self._partition_stats["edge_cut"],
@@ -831,14 +838,14 @@ class IntervalCentricEngine:
 
         if start_ckpt is None:
             metrics = RunMetrics(
-                platform="GRAPHITE",
+                platform=self.platform,
                 algorithm=self.program.name,
                 graph=self.graph_name,
                 executor=executor.name,
             )
         else:
             metrics = restore_metrics(start_ckpt.metrics, executor=executor.name)
-            metrics.platform = metrics.platform or "GRAPHITE"
+            metrics.platform = metrics.platform or self.platform
             metrics.algorithm = metrics.algorithm or self.program.name
             metrics.graph = metrics.graph or self.graph_name
         self._metrics = metrics

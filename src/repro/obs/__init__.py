@@ -50,6 +50,7 @@ from repro.obs.observers import InMemoryEvents, JsonlTraceWriter, RunObserver
 from repro.obs.registry import (
     RECOVERY_METRICS,
     RUN_METRICS,
+    SERVE_METRICS,
     MetricRegistry,
     MetricSpec,
 )
@@ -65,6 +66,7 @@ __all__ = [
     "RECOVERY_METRICS",
     "RUN_METRICS",
     "RunObserver",
+    "SERVE_METRICS",
     "logical_sequence",
     "logical_view",
     "prometheus_text",

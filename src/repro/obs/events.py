@@ -45,8 +45,11 @@ __all__ = [
 
 #: Current trace-record schema version.  v2 added the partitioning facts
 #: to ``run_start`` (fingerprint, edge cut, per-worker loads); v3 added
-#: the local/remote byte split to ``barrier_exchange``.
-EVENT_SCHEMA_VERSION = 3
+#: the local/remote byte split to ``barrier_exchange``; v4 added the
+#: serving-tier lifecycle events (``query_admitted`` / ``query_start`` /
+#: ``query_end`` / ``cache_hit`` / ``cache_evict``) emitted by
+#: `repro.serve`.
+EVENT_SCHEMA_VERSION = 4
 
 #: Event type → required ``data`` keys.  ``superstep`` must be ``None``
 #: for the types in :data:`RUN_LEVEL_TYPES` and a positive int otherwise.
@@ -69,10 +72,21 @@ EVENT_TYPES: Dict[str, Tuple[str, ...]] = {
     "checkpoint_write": (),
     "worker_death": ("worker",),
     "rollback": ("to_superstep", "replayed_supersteps"),
+    # serving tier (`repro.serve`) — interleaved with run events when the
+    # service shares its observers with the engines it drives
+    "query_admitted": ("query_id", "algorithm", "queue_depth"),
+    "query_start": ("query_id", "algorithm", "interval_start",
+                    "interval_end", "cache_hit"),
+    "query_end": ("query_id", "status"),
+    "cache_hit": ("query_id", "algorithm", "interval_start", "interval_end"),
+    "cache_evict": ("evicted_entries", "cache_bytes"),
 }
 
 #: Types whose ``superstep`` is ``None`` (events about the whole run).
-RUN_LEVEL_TYPES = frozenset({"run_start", "run_end"})
+RUN_LEVEL_TYPES = frozenset({
+    "run_start", "run_end",
+    "query_admitted", "query_start", "query_end", "cache_hit", "cache_evict",
+})
 
 _RECORD_KEYS = frozenset({"v", "seq", "type", "superstep", "data", "wall"})
 

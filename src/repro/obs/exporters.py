@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.obs.events import decode_event, logical_view
-from repro.obs.registry import RECOVERY_METRICS, RUN_METRICS
+from repro.obs.registry import RECOVERY_METRICS, RUN_METRICS, SERVE_METRICS
 
 __all__ = [
     "logical_sequence",
@@ -33,13 +33,22 @@ __all__ = [
 # -- metrics ------------------------------------------------------------------
 
 
+def _is_serve_metrics(metrics) -> bool:
+    """Serving-tier counters (`repro.serve.ServeMetrics`) vs run metrics."""
+    return hasattr(metrics, "queries_served")
+
+
 def render_summary(metrics) -> str:
     """The standard human-readable metric table (one run).
 
     Layout matches the historic ``cli._print_metrics`` exactly for the
     core rows; durability rows appear only when checkpointing or
-    recovery actually happened.
+    recovery actually happened.  A :class:`~repro.serve.ServeMetrics`
+    renders the serving-tier table instead (one long-lived service, many
+    runs).
     """
+    if _is_serve_metrics(metrics):
+        return _render_serve_summary(metrics)
     rows = [
         ("platform", metrics.platform),
         ("algorithm", metrics.algorithm),
@@ -71,6 +80,31 @@ def render_summary(metrics) -> str:
     return "\n".join(f"  {label.ljust(width)}  {value}" for label, value in rows)
 
 
+def _render_serve_summary(metrics) -> str:
+    """The serving-tier metric table (one service lifetime)."""
+    lookups = metrics.cache_hits + metrics.cache_misses
+    rows = [
+        ("graph", metrics.graph),
+        ("executor", metrics.executor),
+        ("queries admitted", metrics.queries_admitted),
+        ("queries served", metrics.queries_served),
+        ("  rejected / timed out / failed",
+         f"{metrics.queries_rejected} / {metrics.queries_timed_out} / "
+         f"{metrics.queries_failed}"),
+        ("cache hits / misses", f"{metrics.cache_hits} / {metrics.cache_misses}"),
+        ("cache hit rate",
+         f"{metrics.cache_hit_rate:.3f}" if lookups else "n/a"),
+        ("cache bytes",
+         f"{metrics.cache_bytes} ({metrics.cache_entries} entries, "
+         f"{metrics.cache_evictions} evicted)"),
+        ("queue depth", f"{metrics.queue_depth} (peak {metrics.queue_depth_peak})"),
+        ("query time", f"{metrics.query_seconds * 1e3:.3f} ms total, "
+                       f"{metrics.last_query_seconds * 1e3:.3f} ms last"),
+    ]
+    width = max(len(label) for label, _ in rows)
+    return "\n".join(f"  {label.ljust(width)}  {value}" for label, value in rows)
+
+
 def _prom_name(spec) -> str:
     name = f"repro_{spec.name}"
     if spec.kind == "time" and not name.endswith("_seconds"):
@@ -92,7 +126,8 @@ def prometheus_text(metrics) -> str:
     """Prometheus text-format exposition of one run's metrics.
 
     Counter/gauge typing, units and help strings all come from the
-    metric registry, so this stays in lockstep with ``RunMetrics``.
+    metric registry, so this stays in lockstep with ``RunMetrics`` — and
+    with ``ServeMetrics``, which expose the serving registry instead.
     """
     labels = _prom_labels(
         (
@@ -116,6 +151,9 @@ def prometheus_text(metrics) -> str:
             else:
                 lines.append(f"{name}{labels} {value!r}")
 
+    if _is_serve_metrics(metrics):
+        emit(SERVE_METRICS, metrics)
+        return "\n".join(lines) + "\n"
     emit(RUN_METRICS, metrics)
     recovery = getattr(metrics, "recovery", None)
     if recovery is not None:

@@ -19,7 +19,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Optional, Tuple
 
-__all__ = ["MetricRegistry", "MetricSpec", "RECOVERY_METRICS", "RUN_METRICS"]
+__all__ = [
+    "MetricRegistry",
+    "MetricSpec",
+    "RECOVERY_METRICS",
+    "RUN_METRICS",
+    "SERVE_METRICS",
+]
 
 
 @dataclass(frozen=True)
@@ -192,5 +198,53 @@ RECOVERY_METRICS = MetricRegistry(
         MetricSpec("recovery_seconds", "float", "time", "seconds",
                    "wall-clock spent tearing down and respawning after "
                    "crashes", modeled=False),
+    ),
+)
+
+#: ``ServeMetrics`` fields — the query-serving tier's operational story
+#: (`repro.serve`).  A third registry: serving counters accumulate across
+#: many runs of one long-lived :class:`~repro.serve.GraphService`, so they
+#: can never live in the per-run registry (whose declaration order is also
+#: frozen by the checkpoint layout).
+SERVE_METRICS = MetricRegistry(
+    "serve",
+    (
+        MetricSpec("queries_admitted", "int", "counter", "queries",
+                   "queries accepted past admission control", modeled=False),
+        MetricSpec("queries_served", "int", "counter", "queries",
+                   "queries answered successfully (cached or computed)",
+                   modeled=False),
+        MetricSpec("queries_rejected", "int", "counter", "queries",
+                   "queries rejected by queue-full backpressure",
+                   modeled=False),
+        MetricSpec("queries_timed_out", "int", "counter", "queries",
+                   "queries cancelled at their deadline", modeled=False),
+        MetricSpec("queries_failed", "int", "counter", "queries",
+                   "queries that raised an execution error", modeled=False),
+        MetricSpec("cache_hits", "int", "counter", "queries",
+                   "queries answered from the result cache", modeled=False),
+        MetricSpec("cache_misses", "int", "counter", "queries",
+                   "queries that had to run an engine", modeled=False),
+        MetricSpec("cache_evictions", "int", "counter", "entries",
+                   "cache entries evicted under the byte budget",
+                   modeled=False),
+        MetricSpec("cache_bytes", "int", "gauge", "bytes",
+                   "bytes currently held by the result cache", modeled=False),
+        MetricSpec("cache_entries", "int", "gauge", "entries",
+                   "entries currently held by the result cache",
+                   modeled=False),
+        MetricSpec("cache_hit_rate", "float", "gauge", "fraction",
+                   "cache hits over all cache lookups so far", modeled=False),
+        MetricSpec("queue_depth", "int", "gauge", "queries",
+                   "queries currently waiting for an execution lane",
+                   modeled=False),
+        MetricSpec("queue_depth_peak", "int", "gauge", "queries",
+                   "largest admission-queue depth observed", modeled=False),
+        MetricSpec("query_seconds", "float", "time", "seconds",
+                   "wall-clock spent answering queries, summed",
+                   modeled=False),
+        MetricSpec("last_query_seconds", "float", "gauge", "seconds",
+                   "wall-clock latency of the most recent query",
+                   modeled=False),
     ),
 )

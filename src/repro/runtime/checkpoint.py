@@ -80,6 +80,7 @@ __all__ = [
     "config_fingerprint",
     "decode_shard",
     "encode_shard",
+    "graph_fingerprint",
     "latest_checkpoint",
     "load_checkpoint",
     "metrics_snapshot",
@@ -334,6 +335,24 @@ def restore_metrics(snap: dict[str, Any], *, executor: str) -> RunMetrics:
 # -- config fingerprint --------------------------------------------------------
 
 
+def graph_fingerprint(graph) -> str:
+    """Hash of the graph structure: ids, lifespans, edge topology.
+
+    One component of :func:`config_fingerprint`, also used on its own as
+    the dataset identity in the serving tier's result-cache keys
+    (`repro.serve`) — two graphs with the same fingerprint produce the
+    same results for any deterministic program.
+    """
+    digest = hashlib.sha256()
+    for v in graph.vertices():
+        digest.update(repr((v.vid, v.lifespan.start, v.lifespan.end)).encode())
+        for e in graph.out_edges(v.vid):
+            digest.update(
+                repr((e.dst, e.lifespan.start, e.lifespan.end)).encode()
+            )
+    return digest.hexdigest()
+
+
 def config_fingerprint(engine) -> str:
     """Hash of everything a resumed run must agree on with the writer.
 
@@ -345,19 +364,12 @@ def config_fingerprint(engine) -> str:
     executor and vice versa).
     """
     graph = engine.graph
-    digest = hashlib.sha256()
-    for v in graph.vertices():
-        digest.update(repr((v.vid, v.lifespan.start, v.lifespan.end)).encode())
-        for e in graph.out_edges(v.vid):
-            digest.update(
-                repr((e.dst, e.lifespan.start, e.lifespan.end)).encode()
-            )
     cluster = engine.cluster
     payload = {
         "format": CHECKPOINT_FORMAT,
         "program": engine.program.name,
         "fixed_supersteps": engine.program.fixed_supersteps,
-        "graph_digest": digest.hexdigest(),
+        "graph_digest": graph_fingerprint(graph),
         "num_vertices": graph.num_vertices,
         "num_edges": graph.num_edges,
         "num_workers": cluster.num_workers,

@@ -273,7 +273,9 @@ class SerialExecutor:
         self._engine.cluster.seed_pending(entries)
 
     def close(self) -> None:
-        pass
+        """No-op (and therefore idempotent): ``start`` rebuilds all
+        per-run state, so one serial executor instance can be reused for
+        any number of runs — the serving tier relies on this."""
 
     def abort(self) -> None:
         pass
@@ -761,6 +763,14 @@ class ParallelExecutor:
         self._last_superstep = 0
 
     def start(self, engine, states, fresh, rescatter, warm: bool) -> None:
+        # Reusable lifecycle: one executor instance may host many runs
+        # (the serving tier keeps a warm executor resident per lane).  A
+        # normal run leaves no processes behind (``close``/``abort`` both
+        # clear them), but a run torn down mid-flight — e.g. a query
+        # cancelled at its deadline between ``abort`` and re-entry — must
+        # not leak its workers into the next run.
+        if self._procs:
+            self.abort()
         cluster = engine.cluster
         n_shards = cluster.num_workers
         procs = self.processes or _default_process_count()
@@ -1039,6 +1049,11 @@ class ParallelExecutor:
         exited nonzero (or never acknowledged the stop) raises
         :class:`WorkerDiedError` naming the worker and its last superstep,
         instead of the old silent terminate-and-move-on.
+
+        Idempotent: a second ``close()`` (or one after ``abort()``) finds
+        no processes and returns immediately, so a long-lived holder — the
+        serving tier keeps executors resident across queries — can close
+        defensively without tracking whether the last run already did.
         """
         failure: Optional[WorkerDiedError] = None
         for i, conn in enumerate(self._conns):

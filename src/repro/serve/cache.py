@@ -1,0 +1,124 @@
+"""The interval-aware result cache: LRU under a byte budget.
+
+Keys are ``(algorithm, canonical params, query interval, graph
+fingerprint, config fingerprint)`` tuples — see
+:meth:`~repro.serve.service.GraphService._cache_key`.  The two
+fingerprints make correctness structural rather than hopeful: a cached
+answer can only be returned for the *same* graph (ids, lifespans,
+topology — `repro.runtime.checkpoint.graph_fingerprint`) under the *same*
+deterministic execution configuration (cluster shape, partitioner
+placement, warp/state/exchange flags), so serving a hit is bit-identical
+to re-running the engine by the same argument that makes checkpoints
+resumable.  Anything that would change the answer changes a fingerprint,
+which changes the key, which is a miss.
+
+Values are the fully serialized response payloads (the ``results_io``
+JSON document, already rendered to a string), which gives byte-budget
+accounting for free and makes a hit a dict lookup plus a send — no
+re-serialization on the hot path.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Hashable, Optional, Tuple
+
+__all__ = ["CacheStats", "ResultCache"]
+
+
+class CacheStats:
+    """Monotone hit/miss/eviction counters plus current occupancy."""
+
+    __slots__ = ("hits", "misses", "evictions")
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+
+class ResultCache:
+    """LRU over serialized query answers, evicting by total byte size.
+
+    ``max_bytes=0`` disables caching entirely (every ``get`` is a miss and
+    ``put`` is a no-op).  An entry larger than the whole budget is never
+    admitted — it would only evict everything else and then miss anyway.
+    ``on_evict(entries, bytes_now)`` is called once per eviction wave so
+    the service can emit one ``cache_evict`` event per ``put`` that
+    displaced entries, not one per entry.
+    """
+
+    def __init__(
+        self,
+        max_bytes: int,
+        *,
+        on_evict: Optional[Callable[[int, int], None]] = None,
+    ):
+        if max_bytes < 0:
+            raise ValueError(f"cache max_bytes must be >= 0, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self.stats = CacheStats()
+        self._on_evict = on_evict
+        self._entries: "OrderedDict[Hashable, str]" = OrderedDict()
+        self._bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def bytes_used(self) -> int:
+        return self._bytes
+
+    @staticmethod
+    def _size(payload: str) -> int:
+        return len(payload.encode("utf-8"))
+
+    def get(self, key: Hashable) -> Optional[str]:
+        """The cached payload for ``key`` (refreshing its recency), or
+        ``None`` — counting the lookup either way."""
+        payload = self._entries.get(key)
+        if payload is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return payload
+
+    def put(self, key: Hashable, payload: str) -> None:
+        """Insert (or refresh) ``key``; evicts LRU entries until the byte
+        budget holds.  Oversized payloads are silently not cached."""
+        size = self._size(payload)
+        if size > self.max_bytes:
+            return
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._bytes -= self._size(old)
+        self._entries[key] = payload
+        self._bytes += size
+        evicted = 0
+        while self._bytes > self.max_bytes:
+            _, victim = self._entries.popitem(last=False)
+            self._bytes -= self._size(victim)
+            evicted += 1
+        if evicted:
+            self.stats.evictions += evicted
+            if self._on_evict is not None:
+                self._on_evict(evicted, self._bytes)
+
+    def clear(self) -> None:
+        """Drop every entry (counters survive — they are lifetime totals)."""
+        self._entries.clear()
+        self._bytes = 0
+
+    def keys(self) -> Tuple[Any, ...]:
+        """Current keys, LRU → MRU (for tests and introspection)."""
+        return tuple(self._entries)

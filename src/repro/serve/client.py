@@ -1,0 +1,108 @@
+"""The query client: one connection to a serving daemon.
+
+:class:`QueryClient` speaks the `repro.serve.wire` frames over a Unix
+stream socket and re-raises the daemon's typed errors
+(:class:`~repro.serve.errors.QueueFullError` and friends) on this side of
+the wire, so remote and in-process callers handle failures identically.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Any, Mapping, Optional, Tuple
+
+from . import wire
+from .errors import ServeError, error_for_code
+from .service import QueryAnswer
+
+__all__ = ["QueryClient"]
+
+
+class QueryClient:
+    """A connected client for one serving daemon."""
+
+    def __init__(self, socket_path: str):
+        self.socket_path = socket_path
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.connect(socket_path)
+
+    @classmethod
+    def connect(cls, socket_path: str, timeout_s: float = 10.0) -> "QueryClient":
+        """Connect, retrying until the daemon's socket accepts (it may
+        still be loading the graph) or ``timeout_s`` elapses."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            try:
+                return cls(socket_path)
+            except (FileNotFoundError, ConnectionRefusedError):
+                if time.monotonic() >= deadline:
+                    raise ServeError(
+                        f"no daemon answered on {socket_path!r} within "
+                        f"{timeout_s:g}s"
+                    ) from None
+                time.sleep(0.05)
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "QueryClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- protocol -----------------------------------------------------------
+
+    def _request(self, value: tuple) -> tuple:
+        wire.write_frame(self._sock, value)
+        response = wire.read_frame(self._sock.recv)
+        if response is wire.EOF:
+            raise ServeError("daemon closed the connection without replying")
+        if not isinstance(response, tuple) or not response:
+            raise ServeError(f"malformed response frame: {response!r}")
+        if response[0] == "err":
+            raise error_for_code(response[1], response[2])
+        return response
+
+    def ping(self) -> bool:
+        """True iff the daemon answers ``pong``."""
+        return self._request(("ping",))[0] == "pong"
+
+    def stats(self) -> dict:
+        """The daemon's serving counters (``GraphService.stats()``)."""
+        response = self._request(("stats",))
+        return json.loads(response[1])
+
+    def shutdown(self) -> None:
+        """Ask the daemon to shut down cleanly (it answers ``bye`` first)."""
+        self._request(("shutdown",))
+
+    def query(
+        self,
+        algorithm: str,
+        *,
+        params: Optional[Mapping[str, Any]] = None,
+        interval: Optional[Tuple[int, Optional[int]]] = None,
+        options: Optional[Mapping[str, Any]] = None,
+    ) -> QueryAnswer:
+        """Run one query on the daemon; returns the same
+        :class:`~repro.serve.service.QueryAnswer` an in-process
+        ``GraphService.query`` call yields (latency as measured by the
+        service, payload byte-identical)."""
+        response = self._request(
+            wire.query_value(algorithm, params, interval, options)
+        )
+        if response[0] != "ok" or len(response) != 3:
+            raise ServeError(f"unexpected query response {response[0]!r}")
+        _, payload, meta_items = response
+        meta = wire.items_to_dict(meta_items)
+        return QueryAnswer(
+            query_id=int(meta.get("query_id", 0)),
+            algorithm=algorithm,
+            interval=interval,
+            cache_hit=bool(meta.get("cache_hit", False)),
+            latency_s=float(meta.get("latency_s", 0.0)),
+            payload=payload,
+        )

@@ -1,0 +1,69 @@
+"""Typed serving errors — the backpressure and deadline contract.
+
+Every error a :class:`~repro.serve.GraphService` can hand back carries a
+stable machine-readable ``code`` so the wire layer round-trips it
+losslessly: the daemon encodes ``(code, message)`` into an error frame and
+the client re-raises the *same* exception type on its side.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BadQueryError",
+    "QueryTimeoutError",
+    "QueueFullError",
+    "ServeError",
+    "error_for_code",
+]
+
+
+class ServeError(Exception):
+    """Base class for serving-tier failures; ``code`` is wire-stable."""
+
+    code = "serve_error"
+
+
+class QueueFullError(ServeError):
+    """Backpressure: admission refused because the FIFO queue is at its
+    configured ``max_queue_depth`` and every execution lane is busy.
+
+    Rejected queries run nothing and cache nothing — the caller should
+    back off and retry.  ``depth`` is the queue depth at rejection time.
+    """
+
+    code = "queue_full"
+
+    def __init__(self, message: str, *, depth: int = 0, max_depth: int = 0):
+        super().__init__(message)
+        self.depth = depth
+        self.max_depth = max_depth
+
+
+class QueryTimeoutError(ServeError):
+    """The query exceeded its deadline and was cancelled at a superstep
+    boundary.  The lane's engine and executor are reusable afterwards —
+    the same query re-run produces bit-identical results."""
+
+    code = "timeout"
+
+    def __init__(self, message: str, *, timeout_s: float = 0.0):
+        super().__init__(message)
+        self.timeout_s = timeout_s
+
+
+class BadQueryError(ServeError):
+    """The request itself is invalid: unknown algorithm, malformed params,
+    or an interval outside the graph's horizon."""
+
+    code = "bad_query"
+
+
+_BY_CODE = {
+    cls.code: cls for cls in (ServeError, QueueFullError, QueryTimeoutError,
+                              BadQueryError)
+}
+
+
+def error_for_code(code: str, message: str) -> ServeError:
+    """Rebuild the typed exception a wire error frame describes."""
+    return _BY_CODE.get(code, ServeError)(message)

@@ -126,3 +126,32 @@ def test_renderers_accept_real_traces(traces):
     supersteps = records[-1]["data"]["supersteps"]
     timeline = render_timeline(records)
     assert len(timeline.splitlines()) == 1 + supersteps  # header + one row/step
+
+
+def test_compare_trace_attributes_every_platform(tmp_path):
+    """`api.compare(..., observe=path)` writes one shared trace in which
+    every run — GRAPHITE's native events and the synthesized baseline
+    brackets — carries its platform tag, so `repro report` and
+    `scripts/diff_traces.py` can attribute multi-platform traces."""
+    from repro import api
+    from repro.algorithms.runners import platforms_for
+
+    path = tmp_path / "compare.trace"
+    api.compare("EAT", transit_graph(), workers=5, graph_name="transit",
+                observe=str(path))
+    records = read_trace(path)
+    for record in records:
+        validate_event(record)
+    platforms = [r["data"]["platform"] for r in records
+                 if r["type"] == "run_start"]
+    assert platforms == list(platforms_for("EAT"))
+    # Each run is a complete, splittable bracket with totals.
+    runs = split_runs(records)
+    assert len(runs) == len(platforms)
+    for run in runs:
+        assert run[-1]["type"] == "run_end"
+        assert run[-1]["data"]["supersteps"] >= 1
+    # And the report renderer shows one attributed row per platform.
+    report = render_report(records)
+    for platform in platforms:
+        assert platform in report

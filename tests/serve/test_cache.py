@@ -1,0 +1,127 @@
+"""Tests for the interval-aware result cache (LRU under a byte budget)."""
+
+import pytest
+
+from repro.serve.cache import ResultCache
+
+
+def key(i):
+    return ("BFS", (("source", "A"),), (0, i), "graph-fp", "config-fp")
+
+
+class TestLookupAndRecency:
+    def test_miss_then_hit(self):
+        cache = ResultCache(1024)
+        assert cache.get(key(1)) is None
+        cache.put(key(1), "payload")
+        assert cache.get(key(1)) == "payload"
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.lookups == 2
+        assert cache.stats.hit_rate == 0.5
+
+    def test_get_refreshes_recency(self):
+        cache = ResultCache(1024)
+        cache.put(key(1), "a")
+        cache.put(key(2), "b")
+        cache.get(key(1))
+        assert cache.keys() == (key(2), key(1))  # LRU → MRU
+
+    def test_put_replaces_existing_entry(self):
+        cache = ResultCache(1024)
+        cache.put(key(1), "short")
+        cache.put(key(1), "a much longer replacement payload")
+        assert cache.get(key(1)) == "a much longer replacement payload"
+        assert len(cache) == 1
+        assert cache.bytes_used == len("a much longer replacement payload")
+
+    def test_hit_rate_zero_before_any_lookup(self):
+        assert ResultCache(10).stats.hit_rate == 0.0
+
+
+class TestByteBudget:
+    def test_evicts_lru_until_budget_holds(self):
+        cache = ResultCache(10)
+        cache.put(key(1), "aaaa")  # 4 bytes
+        cache.put(key(2), "bbbb")  # 8 total
+        cache.put(key(3), "cccc")  # 12 → evict key(1)
+        assert cache.get(key(1)) is None
+        assert cache.get(key(2)) == "bbbb"
+        assert cache.get(key(3)) == "cccc"
+        assert cache.stats.evictions == 1
+        assert cache.bytes_used == 8
+
+    def test_one_put_can_evict_many(self):
+        cache = ResultCache(10)
+        for i in range(5):
+            cache.put(key(i), "xx")  # 10 bytes across 5 entries
+        cache.put(key(9), "yyyyyyyy")  # 8 bytes: forces out 4 entries
+        assert cache.stats.evictions == 4
+        assert len(cache) == 2
+
+    def test_oversized_payload_never_admitted(self):
+        cache = ResultCache(4)
+        cache.put(key(1), "toolarge")
+        assert len(cache) == 0
+        assert cache.get(key(1)) is None
+        assert cache.stats.evictions == 0
+
+    def test_zero_budget_disables_caching(self):
+        cache = ResultCache(0)
+        cache.put(key(1), "x")
+        assert len(cache) == 0
+        assert cache.get(key(1)) is None
+
+    def test_byte_accounting_is_utf8(self):
+        cache = ResultCache(1024)
+        cache.put(key(1), "héllo")  # é is 2 bytes in UTF-8
+        assert cache.bytes_used == 6
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="max_bytes"):
+            ResultCache(-1)
+
+
+class TestEvictionCallback:
+    def test_on_evict_called_once_per_wave(self):
+        waves = []
+        cache = ResultCache(10, on_evict=lambda n, b: waves.append((n, b)))
+        for i in range(5):
+            cache.put(key(i), "xx")
+        cache.put(key(9), "yyyyyyyy")
+        assert waves == [(4, 10)]  # one call: 4 entries out, 10 bytes left
+
+    def test_no_callback_without_eviction(self):
+        waves = []
+        cache = ResultCache(100, on_evict=lambda n, b: waves.append(n))
+        cache.put(key(1), "a")
+        cache.put(key(2), "b")
+        assert waves == []
+
+
+class TestFingerprintInvalidation:
+    def test_changed_fingerprint_is_a_different_key(self):
+        """The invalidation story: a cached answer survives only as long
+        as both fingerprints match — a mutated graph or a different
+        execution config produces a different key, which is a miss."""
+        cache = ResultCache(1024)
+        base = ("BFS", (("source", "A"),), None, "graph-v1", "config-v1")
+        cache.put(base, "answer")
+        assert cache.get(("BFS", (("source", "A"),), None, "graph-v2",
+                          "config-v1")) is None
+        assert cache.get(("BFS", (("source", "A"),), None, "graph-v1",
+                          "config-v2")) is None
+        assert cache.get(base) == "answer"
+
+
+class TestClear:
+    def test_clear_keeps_lifetime_counters(self):
+        cache = ResultCache(1024)
+        cache.put(key(1), "a")
+        cache.get(key(1))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.bytes_used == 0
+        assert cache.get(key(1)) is None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1

@@ -1,0 +1,461 @@
+"""Tests for the GraphService serving tier.
+
+The load-bearing property is *serving equivalence*: every answer the
+service produces — cached or computed, serial or parallel, full-horizon
+or interval-sliced — must be bit-identical to a direct ``api.run`` over
+the equivalent graph.  Around that: the FIFO scheduler's backpressure
+contract, deadline cancellation with a provably clean engine afterwards
+(satellite: executor lifecycle reuse), the cache counters, and the
+query-lifecycle events/metrics.
+"""
+
+import io
+import json
+import threading
+import time
+
+import pytest
+
+from repro import api
+from repro.algorithms.td.sssp import TemporalSSSP
+from repro.algorithms.ti.bfs import TemporalBFS
+from repro.algorithms.ti.pagerank import TemporalPageRank
+from repro.core.interval import Interval
+from repro.core.results_io import export_states_json
+from repro.datasets import transit_graph
+from repro.obs.events import EVENT_SCHEMA_VERSION
+from repro.obs.exporters import prometheus_text, render_summary
+from repro.obs.observers import InMemoryEvents
+from repro.query.slice import temporal_slice
+from repro.runtime.cluster import SimulatedCluster
+from repro.serve import (
+    BadQueryError,
+    GraphService,
+    QueryRequest,
+    QueryTimeoutError,
+    QueueFullError,
+    ServeError,
+)
+
+WORKERS = 4
+
+
+def make_program(algorithm, graph, source="A"):
+    if algorithm == "PR":
+        return TemporalPageRank(graph)
+    return {"BFS": TemporalBFS, "SSSP": TemporalSSSP}[algorithm](source)
+
+
+def direct_payload(graph, algorithm, source="A"):
+    """What a one-shot batch run answers — the serving ground truth."""
+    result = api.run(
+        graph,
+        make_program(algorithm, graph, source),
+        cluster=SimulatedCluster(WORKERS),
+        graph_name="transit",
+    )
+    doc = export_states_json(result, io.StringIO())
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def make_service(**options):
+    return api.serve(transit_graph(), graph_name="transit", workers=WORKERS,
+                     options=options)
+
+
+class TestServingEquivalence:
+    @pytest.mark.parametrize("executor", ["serial", "parallel"])
+    @pytest.mark.parametrize("algorithm", ["BFS", "SSSP", "PR"])
+    def test_cached_and_uncached_answers_match_direct_run(
+        self, algorithm, executor
+    ):
+        options = {"executor": executor}
+        if executor == "parallel":
+            options["executor_processes"] = 2
+        with make_service(**options) as service:
+            params = {"source": "A"} if algorithm != "PR" else None
+            cold = service.query(algorithm, params=params)
+            warm = service.query(algorithm, params=params)
+        assert not cold.cache_hit
+        assert warm.cache_hit
+        expected = direct_payload(transit_graph(), algorithm)
+        assert cold.payload == expected
+        assert warm.payload == expected
+
+    def test_three_query_session_matches_three_direct_runs(self):
+        """The acceptance scenario: cold, repeat, different interval —
+        bit-identical to three direct ``api.run`` calls, with the repeat
+        served from cache (hit counter exactly 1)."""
+        with make_service() as service:
+            a1 = service.query("SSSP", params={"source": "A"})
+            a2 = service.query("SSSP", params={"source": "A"})
+            a3 = service.query("SSSP", params={"source": "A"},
+                               interval=(0, 3))
+            hits = service.cache.stats.hits
+            metrics_hits = service.metrics.cache_hits
+        assert (a1.cache_hit, a2.cache_hit, a3.cache_hit) == (
+            False, True, False)
+        assert hits == 1
+        assert metrics_hits == 1
+        assert a1.payload == direct_payload(transit_graph(), "SSSP")
+        assert a2.payload == a1.payload
+        sliced = temporal_slice(transit_graph(), Interval(0, 3))
+        assert a3.payload == direct_payload(sliced, "SSSP")
+        assert a3.payload != a1.payload  # the interval genuinely matters
+
+    def test_interval_accepts_interval_objects(self):
+        with make_service() as service:
+            a = service.query("BFS", params={"source": "A"},
+                              interval=Interval(0, 3))
+            b = service.query("BFS", params={"source": "A"},
+                              interval=(0, 3))
+        assert b.cache_hit  # same canonical key
+        assert a.payload == b.payload
+
+    def test_no_cache_option_bypasses_the_cache(self):
+        with make_service() as service:
+            service.query("BFS", params={"source": "A"})
+            again = service.query("BFS", params={"source": "A"},
+                                  options={"no_cache": True})
+            assert not again.cache_hit
+            assert service.cache.stats.hits == 0
+
+    def test_default_source_is_deterministic(self):
+        with make_service() as service:
+            a = service.query("BFS")
+            b = service.query("BFS")
+        assert b.cache_hit
+        assert a.payload == b.payload
+
+
+class TestCacheKeys:
+    def test_key_carries_graph_and_config_fingerprints(self):
+        with make_service() as service:
+            key = service._cache_key("BFS", (("source", "A"),), None)
+        assert service.graph_fp in key
+        assert service.config_fp in key
+
+    def test_different_graph_means_different_key(self):
+        s1 = GraphService(transit_graph(), graph_name="transit",
+                          workers=WORKERS)
+        from repro.datasets import load_surrogate
+
+        s2 = GraphService(load_surrogate("gplus", scale=0.25),
+                          graph_name="gplus", workers=WORKERS)
+        try:
+            k1 = s1._cache_key("BFS", (), None)
+            k2 = s2._cache_key("BFS", (), None)
+            assert k1 != k2
+            assert s1.graph_fp != s2.graph_fp
+        finally:
+            s1.close()
+            s2.close()
+
+    def test_different_cluster_shape_means_different_key(self):
+        s1 = GraphService(transit_graph(), workers=4)
+        s2 = GraphService(transit_graph(), workers=8)
+        try:
+            assert s1.graph_fp == s2.graph_fp
+            assert s1.config_fp != s2.config_fp
+        finally:
+            s1.close()
+            s2.close()
+
+    def test_eviction_under_byte_budget(self):
+        # Each transit answer is ~400 bytes; a 500-byte budget holds one.
+        with make_service(serve_cache_bytes=500) as service:
+            service.query("SSSP", params={"source": "A"})
+            service.query("SSSP", params={"source": "B"})
+            assert service.metrics.cache_evictions == 1
+            assert service.metrics.cache_entries == 1
+            # The evicted first answer recomputes (miss), not a stale hit.
+            again = service.query("SSSP", params={"source": "A"})
+            assert not again.cache_hit
+
+
+class TestBackpressure:
+    def test_queue_full_rejection_is_typed_and_counted(self):
+        with make_service(serve_max_concurrency=1,
+                          serve_queue_depth=0) as service:
+            release = threading.Event()
+            started = threading.Event()
+
+            def hold():
+                started.set()
+                service.query("BFS", params={"source": "B"},
+                              options={"hold_s": 1.0, "no_cache": True})
+
+            thread = threading.Thread(target=hold)
+            thread.start()
+            started.wait()
+            time.sleep(0.3)  # let the holder take the single lane
+            with pytest.raises(QueueFullError) as exc:
+                service.query("SSSP", params={"source": "B"},
+                              options={"no_cache": True})
+            thread.join()
+            assert exc.value.code == "queue_full"
+            assert exc.value.max_depth == 0
+            assert service.metrics.queries_rejected == 1
+            # Rejected work ran nothing and cached nothing.
+            assert service.metrics.queries_served == 1
+
+    def test_cache_hits_bypass_the_queue(self):
+        """A hit needs no lane: even with the only lane held, cached
+        queries answer immediately instead of queueing behind it."""
+        with make_service(serve_max_concurrency=1,
+                          serve_queue_depth=0) as service:
+            service.query("BFS", params={"source": "A"})  # populate
+
+            def hold():
+                service.query("SSSP", params={"source": "B"},
+                              options={"hold_s": 1.0, "no_cache": True})
+
+            thread = threading.Thread(target=hold)
+            thread.start()
+            time.sleep(0.3)
+            hit = service.query("BFS", params={"source": "A"})
+            thread.join()
+            assert hit.cache_hit
+
+    def test_queued_query_runs_when_lane_frees(self):
+        with make_service(serve_max_concurrency=1,
+                          serve_queue_depth=2) as service:
+            answers = []
+
+            def q(source):
+                answers.append(service.query(
+                    "BFS", params={"source": source},
+                    options={"hold_s": 0.2, "no_cache": True}))
+
+            threads = [threading.Thread(target=q, args=(s,))
+                       for s in ("A", "B", "C")]
+            for t in threads:
+                t.start()
+                time.sleep(0.05)
+            for t in threads:
+                t.join()
+            assert len(answers) == 3
+            assert service.metrics.queries_served == 3
+            assert service.metrics.queue_depth_peak >= 1
+            assert service.metrics.queue_depth == 0
+
+
+class TestDeadlines:
+    @pytest.mark.parametrize("executor", ["serial", "parallel"])
+    def test_timeout_cancels_and_lane_recovers_bit_identical(self, executor):
+        """Satellite: after a cancelled run the lane's engine and warm
+        executor are provably clean — the same query re-run answers
+        bit-identically to a never-cancelled service."""
+        options = {"executor": executor, "serve_max_concurrency": 1}
+        if executor == "parallel":
+            options["executor_processes"] = 2
+        with make_service(**options) as service:
+            with pytest.raises(QueryTimeoutError) as exc:
+                service.query("PR", options={"timeout_s": 1e-9,
+                                             "no_cache": True})
+            assert exc.value.code == "timeout"
+            assert service.metrics.queries_timed_out == 1
+            after = service.query("PR")
+        assert after.payload == direct_payload(transit_graph(), "PR")
+
+    def test_timeout_in_queue_wait(self):
+        with make_service(serve_max_concurrency=1,
+                          serve_queue_depth=4) as service:
+            def hold():
+                service.query("BFS", params={"source": "B"},
+                              options={"hold_s": 0.8, "no_cache": True})
+
+            thread = threading.Thread(target=hold)
+            thread.start()
+            time.sleep(0.3)
+            with pytest.raises(QueryTimeoutError):
+                service.query("SSSP", params={"source": "B"},
+                              options={"timeout_s": 0.05, "no_cache": True})
+            thread.join()
+            assert service.metrics.queries_timed_out == 1
+            # The queue ticket was withdrawn — nothing leaks.
+            assert service.metrics.queue_depth == 0
+
+    def test_non_positive_timeout_rejected(self):
+        with make_service() as service:
+            with pytest.raises(BadQueryError, match="timeout_s"):
+                service.query("BFS", options={"timeout_s": 0})
+
+
+class TestBadQueries:
+    def test_unknown_algorithm(self):
+        with make_service() as service:
+            with pytest.raises(BadQueryError, match="WCC"):
+                service.query("WCC")
+
+    def test_unknown_parameter(self):
+        with make_service() as service:
+            with pytest.raises(BadQueryError, match="damping"):
+                service.query("PR", params={"damping": 0.9})
+
+    def test_unknown_source_vertex(self):
+        with make_service() as service:
+            with pytest.raises(BadQueryError, match="ZZZ"):
+                service.query("BFS", params={"source": "ZZZ"})
+
+    def test_malformed_interval(self):
+        with make_service() as service:
+            with pytest.raises(BadQueryError, match="interval"):
+                service.query("BFS", interval=(5, 2))
+            with pytest.raises(BadQueryError, match="interval"):
+                service.query("BFS", interval="0-5")
+
+    def test_interval_past_every_lifespan_rejected(self):
+        """An interval no entity of the graph survives into is a typed bad
+        query, not a crash (transit vertices are unbounded, so this needs
+        a graph with finite lifespans)."""
+        from repro.graph.builder import TemporalGraphBuilder
+
+        builder = TemporalGraphBuilder()
+        builder.add_vertex("A", 0, 10)
+        builder.add_vertex("B", 0, 10)
+        builder.add_edge("A", "B", 2, 8, eid="e1")
+        service = GraphService(builder.build(), graph_name="tiny",
+                               workers=WORKERS)
+        try:
+            with pytest.raises(BadQueryError):
+                service.query("BFS", params={"source": "A"},
+                              interval=(5000, 6000))
+        finally:
+            service.close()
+
+    def test_closed_service_rejects_queries(self):
+        service = make_service()
+        service.close()
+        with pytest.raises(ServeError, match="closed"):
+            service.query("BFS", options={"no_cache": True})
+        service.close()  # idempotent
+
+
+class TestObservability:
+    def test_query_lifecycle_events_are_emitted_and_schema_valid(self):
+        events = InMemoryEvents()
+        service = api.serve(transit_graph(), graph_name="transit",
+                            workers=WORKERS, observe=events)
+        with service:
+            service.query("SSSP", params={"source": "A"})
+            service.query("SSSP", params={"source": "A"})
+        types = [r["type"] for r in events.records]
+        # Cold query: admitted, engine run bracket, end.
+        assert types[0] == "query_admitted"
+        assert types[1] == "query_start"
+        assert not types[1:types.index("query_end")].count("cache_hit")
+        assert "run_start" in types and "run_end" in types
+        # Warm query: admitted, cache_hit, start, end — no engine run.
+        warm = types[types.index("query_end") + 1:]
+        assert warm == ["query_admitted", "cache_hit", "query_start",
+                        "query_end"]
+        assert types.count("run_start") == 1
+        # Every record passed validate_event inside EventStream.emit and
+        # carries the current schema version.
+        assert all(r["v"] == EVENT_SCHEMA_VERSION for r in events.records)
+        starts = [r for r in events.records if r["type"] == "query_start"]
+        assert [s["data"]["cache_hit"] for s in starts] == [False, True]
+        ends = [r for r in events.records if r["type"] == "query_end"]
+        assert all(e["data"]["status"] == "ok" for e in ends)
+        assert all(e["wall"]["latency_s"] >= 0 for e in ends)
+
+    def test_cache_evict_event(self):
+        events = InMemoryEvents()
+        service = api.serve(
+            transit_graph(), graph_name="transit", workers=WORKERS,
+            options={"serve_cache_bytes": 500}, observe=events,
+        )
+        with service:
+            service.query("SSSP", params={"source": "A"})
+            service.query("SSSP", params={"source": "B"})
+        evictions = events.of_type("cache_evict")
+        assert len(evictions) == 1
+        assert evictions[0]["data"]["evicted_entries"] == 1
+
+    def test_metrics_render_in_both_exporters(self):
+        with make_service() as service:
+            service.query("BFS", params={"source": "A"})
+            service.query("BFS", params={"source": "A"})
+            prom = prometheus_text(service.metrics)
+            summary = render_summary(service.metrics)
+        assert 'repro_queries_served_total{platform="serve",' in prom
+        assert "repro_cache_hits_total" in prom
+        assert "repro_queue_depth" in prom
+        assert "queries served" in summary
+        assert "cache hit rate" in summary
+        assert "0.500" in summary  # 1 hit / 2 lookups
+
+    def test_stats_snapshot_is_json_friendly(self):
+        with make_service() as service:
+            service.query("BFS", params={"source": "A"})
+            snapshot = service.stats()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert snapshot["queries_served"] == 1
+        assert snapshot["lanes"] == 1
+
+
+class TestExecutorLifecycleReuse:
+    """Satellite: one executor instance across many runs."""
+
+    def test_parallel_executor_instance_reused_across_api_runs(self):
+        from repro.runtime.executor import ParallelExecutor
+
+        executor = ParallelExecutor(processes=2)
+        graph = transit_graph()
+        r1 = api.run(graph, TemporalSSSP("A"),
+                     cluster=SimulatedCluster(WORKERS),
+                     options={"executor": executor})
+        r2 = api.run(graph, TemporalSSSP("A"),
+                     cluster=SimulatedCluster(WORKERS),
+                     options={"executor": executor})
+        assert (export_states_json(r1, io.StringIO())
+                == export_states_json(r2, io.StringIO()))
+        executor.close()
+        executor.close()  # idempotent: second close finds no processes
+
+    def test_start_clears_a_stale_aborted_run(self):
+        """A lane whose previous run was torn down without reaching
+        ``abort`` must not leak its workers into the next run: ``start``
+        clears any stale processes first."""
+        import multiprocessing as mp
+
+        from repro.runtime.executor import ParallelExecutor
+
+        executor = ParallelExecutor(processes=2)
+        stale = mp.get_context("fork").Process(target=time.sleep,
+                                               args=(60,), daemon=True)
+        stale.start()
+        parent_conn, child_conn = mp.Pipe()
+        executor._procs.append(stale)
+        executor._conns.append(parent_conn)
+        result = api.run(transit_graph(), TemporalSSSP("A"),
+                         cluster=SimulatedCluster(WORKERS),
+                         graph_name="transit",
+                         options={"executor": executor})
+        assert not stale.is_alive()  # reclaimed by the pre-start guard
+        expected = json.loads(direct_payload(transit_graph(), "SSSP"))
+        assert export_states_json(result, io.StringIO()) == expected
+        executor.close()
+        child_conn.close()
+
+    def test_service_lanes_hold_executor_instances(self):
+        with make_service(executor="parallel", executor_processes=2,
+                          serve_max_concurrency=2) as service:
+            executors = {id(lane.executor) for lane in service._lanes}
+            assert len(executors) == 2  # one resident instance per lane
+            a = service.query("BFS", params={"source": "A"},
+                              options={"no_cache": True})
+            b = service.query("BFS", params={"source": "A"},
+                              options={"no_cache": True})
+            assert a.payload == b.payload
+
+
+class TestSubmitRequests:
+    def test_submit_takes_a_request_object(self):
+        with make_service() as service:
+            answer = service.submit(QueryRequest(
+                algorithm="SSSP", params={"source": "A"}, interval=(0, 3)))
+        assert answer.interval == (0, 3)
+        assert answer.doc["algorithm"] == "SSSP"
+        assert answer.doc["vertices"]

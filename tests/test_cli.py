@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import main
+from repro.cli import build_parser, engine_options, main
 
 
 class TestRun:
@@ -70,6 +70,132 @@ class TestJourneys:
 
     def test_unknown_vertex(self, capsys):
         assert main(["journeys", "A", "ZZZ", "--dataset", "transit"]) == 2
+
+
+class TestEngineFlagConsolidation:
+    """`repro run` and `repro serve` share one flag-definition site
+    (``add_engine_flags``) and one parser (``engine_options``): the same
+    flags must parse to the same engine options under both commands."""
+
+    FLAGS = ["--executor", "parallel", "--processes", "3",
+             "--partitioner", "greedy", "--exchange", "peer"]
+
+    def test_run_and_serve_parse_engine_flags_identically(self):
+        parser = build_parser()
+        run_args = parser.parse_args(["run", "SSSP", *self.FLAGS])
+        serve_args = parser.parse_args(
+            ["serve", "--socket", "/tmp/x.sock", *self.FLAGS])
+        assert engine_options(run_args) == engine_options(serve_args) == {
+            "executor": "parallel",
+            "executor_processes": 3,
+            "partitioner": "greedy",
+            "exchange": "peer",
+        }
+
+    def test_compare_parses_engine_flags_identically_too(self):
+        parser = build_parser()
+        cmp_args = parser.parse_args(["compare", "EAT", *self.FLAGS])
+        run_args = parser.parse_args(["run", "EAT", *self.FLAGS])
+        assert engine_options(cmp_args) == engine_options(run_args)
+
+    def test_unset_flags_contribute_no_options(self):
+        args = build_parser().parse_args(["run", "SSSP"])
+        assert engine_options(args) == {}
+
+    def test_run_only_checkpoint_flags_still_parse(self):
+        args = build_parser().parse_args(
+            ["run", "SSSP", "--checkpoint-every", "2",
+             "--checkpoint-dir", "/tmp/ckpt"])
+        options = engine_options(args)
+        assert options["checkpoint_every"] == 2
+        assert options["checkpoint_dir"] == "/tmp/ckpt"
+
+
+class TestServeAndQuery:
+    def test_serve_and_query_session(self, tmp_path, capsys):
+        """A real daemon subprocess session: serve, query cold/warm,
+        stats, shutdown."""
+        import json
+        import subprocess
+        import sys
+        import time
+
+        sock = str(tmp_path / "cli.sock")
+        daemon = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--socket", sock,
+             "--dataset", "transit", "--workers", "4"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        )
+        try:
+            assert main(["query", "SSSP", "--socket", sock,
+                         "--source", "A"]) == 0
+            assert "computed" in capsys.readouterr().out
+            assert main(["query", "SSSP", "--socket", sock,
+                         "--source", "A"]) == 0
+            assert "cache hit" in capsys.readouterr().out
+            assert main(["query", "--socket", sock, "--stats"]) == 0
+            stats = json.loads(capsys.readouterr().out)
+            assert stats["cache_hits"] == 1
+            assert main(["query", "--socket", sock, "--shutdown"]) == 0
+        finally:
+            try:
+                daemon.wait(timeout=20)
+            except subprocess.TimeoutExpired:
+                daemon.kill()
+                daemon.wait()
+        assert daemon.returncode == 0
+
+    def test_query_json_output(self, tmp_path, capsys):
+        import json
+        import subprocess
+        import sys
+
+        sock = str(tmp_path / "cli2.sock")
+        daemon = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--socket", sock,
+             "--dataset", "transit", "--workers", "4"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        )
+        try:
+            assert main(["query", "BFS", "--socket", sock, "--source", "A",
+                         "--interval", "0", "3", "--json"]) == 0
+            doc = json.loads(capsys.readouterr().out)
+            assert doc["algorithm"] == "BFS"
+            assert doc["vertices"]
+            assert main(["query", "--socket", sock, "--shutdown"]) == 0
+        finally:
+            try:
+                daemon.wait(timeout=20)
+            except subprocess.TimeoutExpired:
+                daemon.kill()
+                daemon.wait()
+
+    def test_query_without_daemon_fails_cleanly(self, tmp_path, capsys):
+        assert main(["query", "BFS", "--socket",
+                     str(tmp_path / "nobody.sock")]) == 1
+        out = capsys.readouterr().out
+        assert "query failed" in out
+
+    def test_query_needs_algorithm_or_action(self, tmp_path, capsys):
+        """An algorithm-less query against a live daemon is usage error 2."""
+        import subprocess
+        import sys
+
+        sock = str(tmp_path / "cli3.sock")
+        daemon = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--socket", sock,
+             "--dataset", "transit", "--workers", "4"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        )
+        try:
+            assert main(["query", "--socket", sock]) == 2
+            assert main(["query", "--socket", sock, "--shutdown"]) == 0
+        finally:
+            try:
+                daemon.wait(timeout=20)
+            except subprocess.TimeoutExpired:
+                daemon.kill()
+                daemon.wait()
 
 
 class TestTrace:
