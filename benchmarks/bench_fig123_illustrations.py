@@ -17,13 +17,13 @@ from repro.core.engine import IntervalCentricEngine
 from repro.core.interval import Interval
 from repro.core.tracing import ExecutionTracer
 from repro.core.warp import time_warp
-from repro.datasets.transit import transit_graph
+from repro.api import load_graph
 from repro.graph.snapshots import snapshot_sizes
 from repro.graph.transform import CHAIN, build_transformed_graph
 
 
 def build_fig1() -> tuple[str, dict]:
-    graph = transit_graph()
+    graph = load_graph("transit")
     horizon = 10
     transformed = build_transformed_graph(graph, horizon=horizon)
     app_edges = sum(1 for e in transformed.edges() if not e.get(CHAIN))
@@ -67,7 +67,7 @@ def test_fig1_views(benchmark):
 def build_fig2() -> tuple[str, int]:
     tracer = ExecutionTracer()
     engine = IntervalCentricEngine(
-        transit_graph(), TemporalSSSP("A"),
+        load_graph("transit"), TemporalSSSP("A"),
         tracer=tracer, enable_warp_combiner=False,
     )
     result = engine.run()

@@ -128,6 +128,11 @@ SPEEDUP_FLOOR = {
     # engine.  Gated on the deterministic modeled ratio (modeled run
     # makespan vs modeled hit cost), not wall-clock, so it binds anywhere.
     "serve_cache": 5.0,
+    # mmap-loading a compact image must be ≥5× faster than decoding the
+    # v1 object stream of the same 10k-vertex graph — the point of the
+    # columnar format is that a restarted daemon is queryable while the
+    # object decoder would still be allocating.
+    "compact_load": 5.0,
 }  # acceptance bars
 #: One-shot wall-clock gate for the peer-exchange optimisation: while the
 #: committed ``engine_parallel`` baseline predates the peer data plane (its
@@ -151,6 +156,7 @@ SIZES = {
         engine_vertices=160, engine_fanout=7, engine_span=64,
         engine_supersteps=4, engine_shards=4, engine_procs=4,
         locality_scale=1.0,
+        compact_vertices=10_000, compact_fanout=4, compact_span=1_000,
     ),
     "smoke": dict(
         warp_messages=3_000, warp_partitions=48, warp_span=3_000,
@@ -160,6 +166,7 @@ SIZES = {
         engine_vertices=60, engine_fanout=5, engine_span=32,
         engine_supersteps=4, engine_shards=4, engine_procs=2,
         locality_scale=0.5,
+        compact_vertices=2_000, compact_fanout=3, compact_span=500,
     ),
 }
 
@@ -693,6 +700,116 @@ def bench_serve_cache(sizes, repeats):
     }
 
 
+
+def _build_compact_workload(sizes):
+    """A property-bearing temporal graph at compact-benchmark scale.
+
+    Every edge carries a two-entry ``w`` timeline so the compact image's
+    property columns and piece-cut tables are exercised, not just the
+    topology arrays.
+    """
+    rng = random.Random(0x5EED)
+    span = sizes["compact_span"]
+    n = sizes["compact_vertices"]
+    builder = TemporalGraphBuilder()
+    builder.add_vertices([f"v{i}" for i in range(n)], 0, span)
+    for i in range(n):
+        for _ in range(sizes["compact_fanout"]):
+            j = rng.randrange(n)
+            if j == i:
+                continue
+            start = rng.randrange(span - 4)
+            end = rng.randint(start + 2, span)
+            mid = rng.randint(start + 1, end - 1)
+            builder.add_edge(
+                f"v{i}", f"v{j}", start, end,
+                props={"w": [(start, mid, rng.randrange(50)),
+                             (mid, end, rng.randrange(50))]},
+            )
+    return builder.build()
+
+
+def bench_compact_build(sizes, repeats, calib):
+    """Freezing a heap graph into the compact columnar image.
+
+    Correctness first: the frozen graph must carry the same checkpoint
+    fingerprint as its heap source (the bit-identity contract).  The
+    gated metric is build wall-clock normalised by the calibration loop
+    (host-robust); resident bytes of both stores ride along for the
+    record.
+    """
+    from repro.graph.compact import CompactGraph
+    from repro.graph.stats import resident_bytes
+    from repro.runtime.checkpoint import graph_fingerprint
+
+    graph = _build_compact_workload(sizes)
+    compact = CompactGraph.from_temporal(graph)
+    assert graph_fingerprint(compact) == graph_fingerprint(graph), (
+        "compact graph fingerprint diverged from its heap source"
+    )
+    opt = best_of(lambda: CompactGraph.from_temporal(graph), repeats)
+    return {
+        "opt_s": opt,
+        "normalized": opt / calib,
+        "heap_bytes": resident_bytes(graph),
+        "resident_bytes": compact.nbytes,
+        "vertices": graph.num_vertices,
+        "edges": graph.num_edges,
+    }
+
+
+def bench_compact_load(sizes, repeats):
+    """mmap-loading the compact image vs decoding the v1 object stream.
+
+    Dumps the same graph in both on-disk formats, then times
+    ``CompactGraph.load`` (header parse + id table, pages faulted lazily)
+    against ``load_graph_binary`` (rebuilds every vertex/edge/interval/
+    property object).  The compact load must reproduce the source's
+    checkpoint fingerprint exactly — unlike v1, which re-sorts
+    enumeration order on round-trip, the compact image preserves it —
+    and the v1 load is checked structurally.
+    """
+    import tempfile
+
+    from repro.graph.binary_io import dump_graph_binary, load_graph_binary
+    from repro.graph.compact import CompactGraph
+    from repro.runtime.checkpoint import graph_fingerprint
+
+    graph = _build_compact_workload(sizes)
+    want = graph_fingerprint(graph)
+    with tempfile.TemporaryDirectory(prefix="bench_compact_") as tmp:
+        v1_path = os.path.join(tmp, "graph.itgr")
+        v2_path = os.path.join(tmp, "graph.itgr2")
+        dump_graph_binary(graph, v1_path)
+        CompactGraph.from_temporal(graph).dump(v2_path)
+
+        loaded_v1 = load_graph_binary(v1_path)
+        loaded_v2 = CompactGraph.load(v2_path)
+        assert graph_fingerprint(loaded_v2) == want, "compact round-trip diverged"
+        assert (loaded_v1.num_vertices, loaded_v1.num_edges) == (
+            graph.num_vertices, graph.num_edges
+        ), "v1 round-trip diverged"
+        loaded_v2.close()
+
+        def load_compact():
+            g = CompactGraph.load(v2_path)
+            g.close()
+
+        ref = best_of(lambda: load_graph_binary(v1_path), repeats)
+        opt = best_of(load_compact, repeats)
+        v1_bytes = os.path.getsize(v1_path)
+        v2_bytes = os.path.getsize(v2_path)
+    return {
+        "opt_s": opt,
+        "ref_s": ref,
+        "speedup": ref / opt,
+        "v1_bytes": v1_bytes,
+        "v2_bytes": v2_bytes,
+        "vertices": graph.num_vertices,
+        "edges": graph.num_edges,
+    }
+
+
 # -- gate ----------------------------------------------------------------------
 
 
@@ -819,6 +936,8 @@ def main(argv=None) -> int:
         ("partition_quality", lambda: bench_partition_quality(sizes)),
         ("exchange_bytes", lambda: bench_exchange_bytes(sizes)),
         ("serve_cache", lambda: bench_serve_cache(sizes, repeats)),
+        ("compact_build", lambda: bench_compact_build(sizes, repeats, calib)),
+        ("compact_load", lambda: bench_compact_load(sizes, repeats)),
     ):
         result = fn()
         results[name] = result
@@ -843,6 +962,14 @@ def main(argv=None) -> int:
                 f"wall hit {result['wall_hit_s'] * 1e6:7.1f} us   "
                 f"modeled ratio {result['speedup']:9.1f}x   "
                 f"({result['response_bytes']} B)"
+            )
+        elif "resident_bytes" in result:
+            print(
+                f"  {name:20s} opt {result['opt_s'] * 1e3:8.2f} ms   "
+                f"normalized {result['normalized']:.3f}   "
+                f"({result['resident_bytes']} B compact vs "
+                f"{result['heap_bytes']} B heap-modeled, "
+                f"{result['edges']} edges)"
             )
         elif "overhead" in result:
             if "checkpoints" in result:

@@ -8,14 +8,13 @@ other stop, per interval of arrival.
 Run:  python examples/quickstart.py
 """
 
+from repro import api
 from repro.algorithms.td.sssp import INFINITY, TemporalSSSP
-from repro.core.engine import IntervalCentricEngine
 from repro.core.interval import format_time
-from repro.datasets import transit_graph
 
 
 def main() -> None:
-    graph = transit_graph()
+    graph = api.load_graph("transit")
     print(f"Transit network: {graph.num_vertices} stops, {graph.num_edges} connections")
     print("Connections (departure window, cost):")
     for edge in sorted(graph.edges(), key=lambda e: str(e.eid)):
@@ -26,8 +25,7 @@ def main() -> None:
         print(f"  {edge.src} → {edge.dst}  departs {edge.lifespan}  ({costs})")
 
     program = TemporalSSSP(source="A")
-    engine = IntervalCentricEngine(graph, program, graph_name="transit")
-    result = engine.run()
+    result = api.run(graph, program, graph_name="transit")
 
     print("\nCheapest time-respecting cost from A, per interval of arrival:")
     for vid in sorted(graph.vertex_ids()):

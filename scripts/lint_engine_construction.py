@@ -1,12 +1,18 @@
 #!/usr/bin/env python
-"""Lint: `IntervalCentricEngine` may only be constructed in `repro.api`.
+"""Lint: the `repro.api` facade is the only front door.
 
-The api_redesign contract routes every in-tree engine construction
-through the :mod:`repro.api` facade so configuration, environment
-resolution and observability stay on one code path.  This script greps
-``src/repro`` for direct ``IntervalCentricEngine(`` construction and
-fails (exit 1) on any hit outside the allowlist.  Tests are exempt —
-they exercise the legacy shim on purpose.
+The api_redesign contract routes every in-tree engine construction AND
+every graph load through the :mod:`repro.api` facade so configuration,
+environment resolution, format sniffing and observability stay on one
+code path.  This script greps ``src/repro`` for:
+
+* direct ``IntervalCentricEngine(`` construction outside ``repro.api``;
+* direct graph-loader calls (``load_graph_binary``,
+  ``load_snap_edgelist``, ``load_contact_sequence``) outside
+  ``repro.api`` and the ``repro.graph`` storage package itself — callers
+  go through :func:`repro.api.load_graph`.
+
+Tests are exempt — they exercise the internal entry points on purpose.
 
 Usage: ``python scripts/lint_engine_construction.py [repo-root]``
 """
@@ -17,26 +23,57 @@ import re
 import sys
 from pathlib import Path
 
-#: Files allowed to construct the engine directly.
-ALLOWED = {"src/repro/api.py"}
 
-#: A call site: the class name followed by ``(``, not preceded by a quote
-#: (deprecation-warning text in config.py spells the legacy call inside a
-#: string literal) and not part of a longer identifier.
-CALL = re.compile(r"""(?<!["'\w])IntervalCentricEngine\(""")
+def _call(name: str) -> re.Pattern:
+    """A call site: ``name`` followed by ``(``, not preceded by a quote
+    (deprecation-warning text spells legacy calls inside string literals),
+    a dot (method / re-export references), or a longer identifier."""
+    return re.compile(r"""(?<!["'.\w])""" + name + r"\(")
+
+
+#: (pattern, allowed files / directory prefixes, remedy) — one row per rule.
+RULES: tuple = (
+    (
+        _call("IntervalCentricEngine"),
+        ("src/repro/api.py",),
+        "build engines via repro.api.build_engine / api.run instead",
+    ),
+    (
+        _call("load_graph_binary"),
+        ("src/repro/api.py", "src/repro/graph/"),
+        "load graphs via repro.api.load_graph instead",
+    ),
+    (
+        _call("load_snap_edgelist"),
+        ("src/repro/api.py", "src/repro/graph/"),
+        "load graphs via repro.api.load_graph(..., format='snap') instead",
+    ),
+    (
+        _call("load_contact_sequence"),
+        ("src/repro/api.py", "src/repro/graph/"),
+        "load graphs via repro.api.load_graph(..., format='contacts') instead",
+    ),
+)
+
+
+def _allowed(rel: str, allowed: tuple) -> bool:
+    return any(
+        rel == entry or (entry.endswith("/") and rel.startswith(entry))
+        for entry in allowed
+    )
 
 
 def violations(root: Path) -> list[str]:
     found = []
     for path in sorted((root / "src" / "repro").rglob("*.py")):
         rel = path.relative_to(root).as_posix()
-        if rel in ALLOWED:
-            continue
-        for lineno, line in enumerate(
-            path.read_text(encoding="utf-8").splitlines(), start=1
-        ):
-            if CALL.search(line):
-                found.append(f"{rel}:{lineno}: {line.strip()}")
+        lines = path.read_text(encoding="utf-8").splitlines()
+        for pattern, allowed, remedy in RULES:
+            if _allowed(rel, allowed):
+                continue
+            for lineno, line in enumerate(lines, start=1):
+                if pattern.search(line):
+                    found.append(f"{rel}:{lineno}: {line.strip()}  [{remedy}]")
     return found
 
 
@@ -44,12 +81,11 @@ def main(argv: list[str]) -> int:
     root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parent.parent
     found = violations(root)
     if found:
-        print("direct IntervalCentricEngine construction outside repro.api:")
+        print("facade-contract violations (construct/load via repro.api):")
         for hit in found:
             print(f"  {hit}")
-        print("build engines via repro.api.build_engine / api.run instead")
         return 1
-    print("engine-construction lint: clean")
+    print("facade lint: clean")
     return 0
 
 

@@ -46,6 +46,7 @@ from repro.core.config import (
     WarpConfig,
 )
 from repro.core.engine import IcmResult, IntervalCentricEngine
+from repro.errors import GraphFormatError
 from repro.runtime.cluster import SimulatedCluster
 
 __all__ = [
@@ -53,6 +54,7 @@ __all__ = [
     "EngineConfig",
     "ExchangeConfig",
     "ExecutorConfig",
+    "GraphFormatError",
     "IcmResult",
     "IntervalCentricEngine",
     "ObservabilityConfig",
@@ -62,6 +64,7 @@ __all__ = [
     "WarpConfig",
     "build_engine",
     "compare",
+    "load_graph",
     "run",
     "serve",
 ]
@@ -275,3 +278,170 @@ def serve(
         config=cfg,
         observe=observe,
     )
+
+
+# -- graph loading -------------------------------------------------------------
+
+#: Formats ``load_graph`` understands.  ``auto`` sniffs; the rest force.
+GRAPH_FORMATS = ("auto", "dataset", "text", "binary", "compact", "snap", "contacts")
+
+
+def _dataset_names() -> list:
+    from repro.datasets import SURROGATES
+
+    return ["transit", *sorted(SURROGATES)]
+
+
+def _sniff_format(source) -> str:
+    """Decide the format of ``source`` by looking, never by extension.
+
+    Binary files are recognised by the ``ITGR`` magic (the version varint
+    picks v1 object-stream vs v2 compact); text graphs by a leading
+    ``V``/``VP``/``E``/``EP`` record; names that match a built-in dataset
+    (and are not files) load the dataset.  SNAP-style numeric event lists
+    sniff as ``snap`` — a contact sequence is indistinguishable by eye,
+    so pass ``format="contacts"`` explicitly for those.
+    """
+    if hasattr(source, "read"):
+        raise GraphFormatError(
+            "cannot sniff the format of an open stream; pass format= explicitly"
+        )
+    import os
+
+    name = str(source)
+    if not os.path.exists(name):
+        datasets = _dataset_names()
+        if name.lower() in datasets:
+            return "dataset"
+        raise GraphFormatError(
+            f"{name!r} is neither a file nor a named dataset "
+            f"(datasets: {', '.join(datasets)})"
+        )
+    with open(name, "rb") as fh:
+        head = fh.read(64)
+    if head[:4] == b"ITGR":
+        version = head[4] if len(head) > 4 else -1
+        if version == 1:
+            return "binary"
+        if version == 2:
+            return "compact"
+        raise GraphFormatError(
+            f"{name}: ITGR file with unsupported version {version} "
+            f"(readable versions: 1, 2)"
+        )
+    try:
+        with open(name, "r", encoding="utf-8") as fh:
+            first = ""
+            for line in fh:
+                line = line.strip()
+                if line and not line.startswith("#"):
+                    first = line
+                    break
+    except (UnicodeDecodeError, OSError) as exc:
+        raise GraphFormatError(f"{name}: unrecognisable graph file ({exc})") from exc
+    tokens = first.split()
+    if tokens and tokens[0] in ("V", "VP", "E", "EP"):
+        return "text"
+    if 2 <= len(tokens) <= 4:
+        try:
+            [float(t) for t in tokens[1:]]
+            return "snap"
+        except ValueError:
+            pass
+    raise GraphFormatError(
+        f"{name}: cannot sniff graph format from first line {first!r}; "
+        f"pass format= (one of {', '.join(GRAPH_FORMATS[1:])})"
+    )
+
+
+def load_graph(
+    source,
+    format: str = "auto",
+    *,
+    store: Optional[str] = None,
+    **options,
+):
+    """Load a temporal graph from anywhere — the one front door.
+
+    ``source`` may be a file path (text format, binary v1, compact v2 —
+    sniffed from content when ``format="auto"``), a named built-in
+    dataset (``"transit"`` or any Table-1 surrogate name), or an open
+    handle (with an explicit ``format``).  Compact files are mmap'd
+    read-only, so concurrently serving processes share their pages.
+
+    ``store`` picks the in-memory representation: ``"compact"`` freezes a
+    heap result into :class:`~repro.graph.compact.CompactGraph`,
+    ``"heap"`` leaves heap graphs alone, ``None`` defers to
+    ``REPRO_GRAPH_STORE``.  Remaining keyword ``options`` go to the
+    underlying loader (``scale``/``seed`` for datasets, ``bucket``/
+    ``merge_gap``/... for the event-list parsers, ``map=False`` to read
+    a compact file into private memory).
+
+    Raises
+    ------
+    GraphFormatError
+        Unknown format, failed sniffing, bad magic/version, or a source
+        that is neither a file nor a dataset name.
+    """
+    from repro.graph.compact import CompactGraph, resolve_graph_store
+
+    if format not in GRAPH_FORMATS:
+        raise GraphFormatError(
+            f"unknown graph format {format!r}; expected one of "
+            f"{', '.join(GRAPH_FORMATS)}"
+        )
+    fmt = _sniff_format(source) if format == "auto" else format
+
+    if fmt == "dataset":
+        from repro.datasets import load_surrogate, transit_graph
+
+        name = str(source).lower()
+        scale = options.pop("scale", 1.0)
+        seed = options.pop("seed", None)
+        if name == "transit":
+            graph = transit_graph()
+        else:
+            try:
+                graph = load_surrogate(name, scale=scale, seed=seed)
+            except KeyError as exc:
+                raise GraphFormatError(str(exc.args[0])) from exc
+    elif fmt == "text":
+        from repro.graph.io import load_graph as _load_text
+
+        try:
+            graph = _load_text(source)
+        except GraphFormatError:
+            raise
+        except ValueError as exc:
+            raise GraphFormatError(f"text graph: {exc}") from exc
+    elif fmt == "binary":
+        from repro.graph.binary_io import load_graph_binary
+
+        try:
+            graph = load_graph_binary(source)
+        except GraphFormatError:
+            raise
+        except ValueError as exc:
+            raise GraphFormatError(f"binary graph: {exc}") from exc
+    elif fmt == "compact":
+        if hasattr(source, "read"):
+            graph = CompactGraph.from_bytes(source.read())
+        else:
+            graph = CompactGraph.load(source, map=options.pop("map", True))
+    elif fmt == "snap":
+        from repro.graph.parsers import load_snap_edgelist
+
+        graph = load_snap_edgelist(source, **options)
+        options = {}
+    else:  # contacts
+        from repro.graph.parsers import load_contact_sequence
+
+        graph = load_contact_sequence(source, **options)
+        options = {}
+
+    if options and fmt not in ("snap", "contacts"):
+        raise GraphFormatError(
+            f"options {sorted(options)} are not understood by the "
+            f"{fmt!r} loader"
+        )
+    return resolve_graph_store(graph, store)

@@ -7,7 +7,8 @@ Commands
 ``compare``   Run an algorithm on every applicable platform (a one-row
               slice of the paper's Table 2).
 ``datasets``  Print Table-1 style statistics for the built-in surrogates.
-``convert``   Dump a surrogate dataset to the text graph format.
+``convert``   Dump a surrogate dataset to a graph file (text, binary,
+              or compact columnar).
 ``trace``     Render a Fig-2-style execution trace of an ICM run.
 ``report``    Rebuild a Table-4-style breakdown from a saved event trace.
 ``journeys``  Enumerate time-respecting journeys between two vertices.
@@ -24,8 +25,7 @@ from typing import Optional, Sequence
 
 from repro import api
 from repro.algorithms import ALL_ALGORITHMS, run_algorithm
-from repro.datasets import SURROGATES, load_surrogate, transit_graph
-from repro.graph.io import dump_graph
+from repro.datasets import SURROGATES
 from repro.graph.stats import dataset_stats
 from repro.obs.exporters import (
     prometheus_text,
@@ -40,9 +40,7 @@ DATASET_CHOICES = ("transit", *sorted(SURROGATES))
 
 
 def _load(name: str, scale: float):
-    if name == "transit":
-        return transit_graph()
-    return load_surrogate(name, scale=scale)
+    return api.load_graph(name, format="dataset", scale=scale)
 
 
 def add_engine_flags(parser: argparse.ArgumentParser) -> None:
@@ -153,9 +151,20 @@ def cmd_datasets(args: argparse.Namespace) -> int:
 
 def cmd_convert(args: argparse.Namespace) -> int:
     graph = _load(args.dataset, args.scale)
-    dump_graph(graph, args.output)
+    if args.format == "text":
+        from repro.graph.io import dump_graph
+
+        dump_graph(graph, args.output)
+    elif args.format == "binary":
+        from repro.graph.binary_io import dump_graph_binary
+
+        dump_graph_binary(graph, args.output)
+    else:  # compact
+        from repro.graph.compact import CompactGraph
+
+        CompactGraph.from_temporal(graph).dump(args.output)
     print(f"wrote {graph.num_vertices} vertices / {graph.num_edges} edges "
-          f"to {args.output}")
+          f"to {args.output} ({args.format})")
     return 0
 
 
@@ -241,7 +250,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.serve.daemon import ServeDaemon
 
-    graph = _load(args.dataset, args.scale)
+    if args.graph is not None:
+        # A graph file beats the dataset flags; compact files are mmap'd,
+        # so a restarted daemon shares the OS page cache with its
+        # predecessor instead of re-decoding the graph.
+        graph = api.load_graph(args.graph)
+        graph_name = args.graph
+    else:
+        graph = _load(args.dataset, args.scale)
+        graph_name = args.dataset
     options = engine_options(args)
     if args.max_concurrency is not None:
         options["serve_max_concurrency"] = args.max_concurrency
@@ -252,7 +269,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.timeout is not None:
         options["serve_timeout_s"] = args.timeout
     service = api.serve(
-        graph, graph_name=args.dataset, workers=args.workers,
+        graph, graph_name=graph_name, workers=args.workers,
         options=options, observe=args.trace_out,
     )
     daemon = ServeDaemon(service, args.socket)
@@ -263,7 +280,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     signal.signal(signal.SIGTERM, _stop)
     signal.signal(signal.SIGINT, _stop)
-    print(f"serving {args.dataset} ({graph.num_vertices} vertices, "
+    print(f"serving {graph_name} ({graph.num_vertices} vertices, "
           f"{graph.num_edges} edges) on {args.socket}", flush=True)
     daemon.serve_forever()
     if args.metrics_out is not None:
@@ -365,8 +382,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_ds.add_argument("--scale", type=float, default=0.5)
     p_ds.set_defaults(fn=cmd_datasets)
 
-    p_cv = sub.add_parser("convert", help="dump a dataset to the text format")
+    p_cv = sub.add_parser("convert", help="dump a dataset to a graph file")
     p_cv.add_argument("output", help="output file path")
+    p_cv.add_argument("--format", choices=("text", "binary", "compact"),
+                      default="text",
+                      help="output encoding: human-readable text, the v1 "
+                           "binary object stream, or the v2 compact columnar "
+                           "image (mmap-able; `repro serve --graph` loads it "
+                           "zero-copy)")
     add_common(p_cv)
     p_cv.set_defaults(fn=cmd_convert)
 
@@ -399,6 +422,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="serve queries over a resident graph")
     p_sv.add_argument("--socket", required=True, metavar="PATH",
                       help="Unix socket path to listen on")
+    p_sv.add_argument("--graph", default=None, metavar="PATH",
+                      help="serve this graph file instead of a surrogate "
+                           "dataset (any api.load_graph format; compact "
+                           "files are mmap'd read-only)")
     p_sv.add_argument("--max-concurrency", type=int, default=None,
                       help="execution lanes (default: REPRO_SERVE_CONCURRENCY "
                            "or 1)")

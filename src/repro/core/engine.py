@@ -38,6 +38,7 @@ from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional
 
+from repro.graph.compact import resolve_graph_store
 from repro.obs.events import EventStream
 from repro.obs.observers import JsonlTraceWriter
 from repro.runtime.cluster import SimulatedCluster
@@ -188,6 +189,11 @@ class VertexProcessor:
         #: vid → scatter indexes of its out-edges, built on first scatter
         #: and reused across supersteps (the graph is immutable per run).
         self._edge_index: dict[Any, list[_EdgePieceIndex]] = {}
+        #: Storage-layer fast path: a compact graph builds the per-vertex
+        #: scatter indexes straight from its columnar piece tables
+        #: (``CompactGraph.edge_piece_indexes``); heap graphs fall back to
+        #: deriving them from ``out_edges()`` here.
+        self._piece_index_source = getattr(graph, "edge_piece_indexes", None)
 
     # -- program invocation (error-context wrapping) ---------------------------
 
@@ -384,7 +390,10 @@ class VertexProcessor:
         """The vertex's out-edge scatter indexes, built once per run."""
         indexed = self._edge_index.get(vid)
         if indexed is None:
-            indexed = [_EdgePieceIndex(e) for e in self.graph.out_edges(vid)]
+            if self._piece_index_source is not None:
+                indexed = self._piece_index_source(vid)
+            else:
+                indexed = [_EdgePieceIndex(e) for e in self.graph.out_edges(vid)]
             self._edge_index[vid] = indexed
         return indexed
 
@@ -496,7 +505,12 @@ class IntervalCentricEngine:
             config = EngineConfig.from_env()
         self.config = config
 
-        self.graph = graph
+        # Storage-layer knob, resolved at construction so the whole run —
+        # partitioning, executors, checkpoint fingerprints — sees one
+        # store.  REPRO_GRAPH_STORE=compact freezes heap graphs into
+        # `repro.graph.compact.CompactGraph`; results are bit-identical.
+        self.graph = resolve_graph_store(graph)
+        graph = self.graph
         self.program = program
         self.cluster = cluster or SimulatedCluster()
         partitioning = config.partitioning

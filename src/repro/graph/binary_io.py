@@ -24,6 +24,7 @@ ablation bench.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 from typing import Any, BinaryIO, Union
 
@@ -43,12 +44,34 @@ MAGIC = b"ITGR"
 VERSION = 1
 
 
+def _atomic_write_bytes(payload: bytes, target: Path) -> None:
+    """Stage, fsync, then atomically rename into place.
+
+    The same staging discipline checkpoints use: a crash mid-dump leaves
+    either the old file or the new one, never a truncated hybrid — which
+    matters doubly for the compact format, whose files get mmap'd.
+    """
+    staging = target.with_name(f"{target.name}.staging.{os.getpid()}")
+    try:
+        with open(staging, "wb") as fh:
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(staging, target)
+    finally:
+        if staging.exists():
+            staging.unlink()
+
+
 def dump_graph_binary(graph: TemporalGraph, target: Union[str, Path, BinaryIO]) -> int:
-    """Write the graph; returns the number of bytes written."""
+    """Write the graph; returns the number of bytes written.
+
+    Path targets are written via a staged fsync + atomic rename, so a
+    crashed dump can never leave a truncated graph file behind.
+    """
     payload = _encode_graph(graph)
     if isinstance(target, (str, Path)):
-        with open(target, "wb") as fh:
-            fh.write(payload)
+        _atomic_write_bytes(payload, Path(target))
     else:
         target.write(payload)
     return len(payload)
@@ -136,7 +159,11 @@ def _decode_graph(raw: bytes) -> TemporalGraph:
     offset = 4
     version, offset = decode_varint(raw, offset)
     if version != VERSION:
-        raise ValueError(f"unsupported ITGR version {version}")
+        hint = (
+            " (a version-2 compact graph; open it with api.load_graph)"
+            if version == 2 else ""
+        )
+        raise ValueError(f"unsupported ITGR version {version}{hint}")
 
     n_vids, offset = decode_varint(raw, offset)
     vids: list[str] = []

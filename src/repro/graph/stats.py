@@ -143,6 +143,20 @@ def memory_footprint(graph: TemporalGraph, *, horizon: Optional[int] = None) -> 
     }
 
 
+def resident_bytes(graph) -> int:
+    """Resident bytes of the graph's backing store.
+
+    Exact for a :class:`~repro.graph.compact.CompactGraph` (its single
+    buffer's ``nbytes``); for heap graphs, the Fig. 6(a) cost model's
+    interval-representation estimate.  Surfaced as the serving tier's
+    ``graph_resident_bytes`` metric (``repro.obs``).
+    """
+    nbytes = getattr(graph, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    return memory_footprint(graph)["interval"]
+
+
 def _clipped_length(iv: Interval, clip: Interval) -> int:
     common = iv.intersect(clip)
     return common.length if common is not None else 0

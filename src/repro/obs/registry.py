@@ -246,5 +246,9 @@ SERVE_METRICS = MetricRegistry(
         MetricSpec("last_query_seconds", "float", "gauge", "seconds",
                    "wall-clock latency of the most recent query",
                    modeled=False),
+        MetricSpec("graph_resident_bytes", "int", "gauge", "bytes",
+                   "resident bytes of the served graph's backing store "
+                   "(exact for a compact graph, modeled for heap graphs)",
+                   modeled=False),
     ),
 )

@@ -29,6 +29,8 @@ class ClusterLifecycleError(RuntimeError):
     ``reset()`` is the recovery path after a crashed run.
     """
 
+    code = "cluster_lifecycle"  # stable string code (see repro.errors)
+
 
 class SimulatedCluster:
     """A fixed pool of BSP workers with per-superstep message queues.

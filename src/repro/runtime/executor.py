@@ -798,6 +798,16 @@ class ParallelExecutor:
         # of the (potentially large) payload; spawn platforms pickle it.
         methods = mp.get_all_start_methods()
         ctx = mp.get_context("fork" if "fork" in methods else None)
+        if ctx.get_start_method() != "fork":
+            # Spawn pickles the payload per worker.  A compact graph can
+            # dodge the copy entirely: migrate its buffer into shared
+            # memory so the pickle carries only the segment name and every
+            # worker attaches to the same physical pages.  (File-mapped
+            # compact graphs already pickle as their path; heap graphs
+            # have no zero-copy form and are pickled as before.)
+            share = getattr(engine.graph, "ensure_shared", None)
+            if share is not None:
+                share()
         self._procs = []
         self._conns = []
         processor_args = engine.processor_args()

@@ -57,6 +57,8 @@ class WorkerDiedError(RuntimeError):
     gone and its partition state with it.
     """
 
+    code = "worker_died"  # stable string code (see repro.errors)
+
     def __init__(self, worker: int, superstep: int, exitcode: Optional[int] = None,
                  detail: str = ""):
         suffix = f" (exit code {exitcode})" if exitcode is not None else ""
@@ -74,6 +76,8 @@ class WorkerDiedError(RuntimeError):
 
 class UnrecoverableRunError(RuntimeError):
     """Worker failure that recovery could not (or was not allowed to) absorb."""
+
+    code = "unrecoverable_run"  # stable string code (see repro.errors)
 
 
 @dataclass

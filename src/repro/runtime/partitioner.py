@@ -58,6 +58,21 @@ def _natural_key(vid: Any):
     return (key, repr(vid))
 
 
+def _edge_records(graph):
+    """Stream ``(src_vid, dst_vid, start, end)`` per edge.
+
+    A compact graph serves these straight from its columnar arrays
+    (``CompactGraph.edge_records``) without materialising edge views; heap
+    graphs fall back to object iteration.  Both stores stream edges in
+    the same enumeration order, so weight accumulation — and therefore
+    every greedy placement — is identical between them.
+    """
+    fast = getattr(graph, "edge_records", None)
+    if fast is not None:
+        return fast()
+    return ((e.src, e.dst, e.lifespan.start, e.lifespan.end) for e in graph.edges())
+
+
 class Partitioner:
     """Maps vertex id → worker index, with quality and identity helpers."""
 
@@ -71,9 +86,9 @@ class Partitioner:
         """Fraction of edges whose endpoints land on different workers."""
         total = cut = 0
         worker_of = self.worker_of
-        for e in graph.edges():
+        for src, dst, _, _ in _edge_records(graph):
             total += 1
-            if worker_of(e.src) != worker_of(e.dst):
+            if worker_of(src) != worker_of(dst):
                 cut += 1
         return cut / total if total else 0.0
 
@@ -188,14 +203,15 @@ class GreedyEdgeCutPartitioner(_AssignmentPartitioner):
             random.Random(seed).shuffle(vids)
         capacity = max(1.0, capacity_slack * len(vids) / num_workers)
         neighbours: Dict[Any, Dict[Any, float]] = {vid: {} for vid in vids}
-        for e in graph.edges():
-            weight = self._edge_weight(e)
+        record_weight = self._record_weight
+        for src, dst, start, end in _edge_records(graph):
+            weight = record_weight(start, end)
             if weight <= 0.0:
                 continue
-            src_nbrs = neighbours[e.src]
-            src_nbrs[e.dst] = src_nbrs.get(e.dst, 0.0) + weight
-            dst_nbrs = neighbours[e.dst]
-            dst_nbrs[e.src] = dst_nbrs.get(e.src, 0.0) + weight
+            src_nbrs = neighbours[src]
+            src_nbrs[dst] = src_nbrs.get(dst, 0.0) + weight
+            dst_nbrs = neighbours[dst]
+            dst_nbrs[src] = dst_nbrs.get(src, 0.0) + weight
         assignment = self._assignment
         loads = [0] * num_workers
         for vid in vids:
@@ -221,6 +237,10 @@ class GreedyEdgeCutPartitioner(_AssignmentPartitioner):
 
     def _edge_weight(self, edge) -> float:
         """The neighbour-affinity weight one edge contributes (LDG: 1)."""
+        return self._record_weight(edge.lifespan.start, edge.lifespan.end)
+
+    def _record_weight(self, start: int, end: int) -> float:
+        """Weight from lifespan bounds alone — the streaming-sweep form."""
         return 1.0
 
     def fingerprint(self) -> str:
@@ -265,10 +285,8 @@ class IntervalGreedyPartitioner(GreedyEdgeCutPartitioner):
             num_workers, graph, capacity_slack=capacity_slack, seed=seed
         )
 
-    def _edge_weight(self, edge) -> float:
-        lifespan = edge.lifespan
-        end = min(lifespan.end, self._horizon)
-        return float(max(1, end - lifespan.start))
+    def _record_weight(self, start: int, end: int) -> float:
+        return float(max(1, min(end, self._horizon) - start))
 
 
 class RangePartitioner(_AssignmentPartitioner):

@@ -4,6 +4,11 @@ Every error a :class:`~repro.serve.GraphService` can hand back carries a
 stable machine-readable ``code`` so the wire layer round-trips it
 losslessly: the daemon encodes ``(code, message)`` into an error frame and
 the client re-raises the *same* exception type on its side.
+
+The codes are the serving slice of the repo-wide taxonomy in
+:mod:`repro.errors` (``ERROR_CODES``), which re-exports these classes;
+both sides are pinned by ``tests/test_errors.py`` so a rename cannot
+silently break clients.
 """
 
 from __future__ import annotations

@@ -95,6 +95,7 @@ class ServeMetrics:
     queue_depth_peak: int = 0
     query_seconds: float = 0.0
     last_query_seconds: float = 0.0
+    graph_resident_bytes: int = 0
 
 
 @dataclass(frozen=True)
@@ -255,8 +256,11 @@ class GraphService:
             )
             self._lanes.append(_Lane(index, cluster, executor, lane_config))
 
+        from repro.graph.stats import resident_bytes
+
         self.metrics = ServeMetrics(
-            graph=graph_name, executor=self._lanes[0].executor.name
+            graph=graph_name, executor=self._lanes[0].executor.name,
+            graph_resident_bytes=resident_bytes(graph),
         )
         self.cache = ResultCache(
             cfg.serve.cache_bytes, on_evict=self._on_cache_evict
@@ -737,6 +741,7 @@ class GraphService:
                 "cache_misses", "cache_evictions", "cache_bytes",
                 "cache_entries", "cache_hit_rate", "queue_depth",
                 "queue_depth_peak", "query_seconds", "last_query_seconds",
+                "graph_resident_bytes",
             )
         }
         out["graph"] = self.graph_name

@@ -40,13 +40,92 @@ def _engine(**kwargs):
 
 def test_api_exports():
     expected = {
-        "CheckpointConfig", "EngineConfig", "ExecutorConfig", "IcmResult",
-        "IntervalCentricEngine", "ObservabilityConfig", "StateConfig",
-        "WarpConfig", "build_engine", "compare", "run",
+        "CheckpointConfig", "EngineConfig", "ExecutorConfig",
+        "GraphFormatError", "IcmResult", "IntervalCentricEngine",
+        "ObservabilityConfig", "StateConfig", "WarpConfig", "build_engine",
+        "compare", "load_graph", "run", "serve",
     }
     assert expected <= set(api.__all__)
     for name in api.__all__:
         assert getattr(api, name) is not None
+
+
+# -- load_graph: the one loading front door ------------------------------------
+
+
+class TestLoadGraph:
+    def test_dataset_by_name(self):
+        graph = api.load_graph("transit")
+        assert graph.num_vertices == 6
+        scaled = api.load_graph("gplus", scale=0.25)
+        assert scaled.num_vertices > 0
+
+    def test_sniffs_text_binary_and_compact(self, tmp_path):
+        from repro.graph.binary_io import dump_graph_binary
+        from repro.graph.compact import CompactGraph
+        from repro.graph.io import dump_graph
+
+        graph = transit_graph()
+        text, binary, compact = (
+            tmp_path / "g.txt", tmp_path / "g.bin", tmp_path / "g.c2"
+        )
+        dump_graph(graph, text)
+        dump_graph_binary(graph, binary)
+        CompactGraph.from_temporal(graph).dump(compact)
+        for path in (text, binary, compact):
+            loaded = api.load_graph(str(path))
+            assert (loaded.num_vertices, loaded.num_edges) == (6, 7)
+        assert isinstance(api.load_graph(str(compact)), CompactGraph)
+
+    def test_store_override(self):
+        from repro.graph.compact import CompactGraph
+
+        assert isinstance(
+            api.load_graph("transit", store="compact"), CompactGraph
+        )
+        assert not isinstance(
+            api.load_graph("transit", store="heap"), CompactGraph
+        )
+
+    def test_snap_sniff_and_contacts_explicit(self, tmp_path):
+        events = tmp_path / "events.txt"
+        events.write_text("1 2 3\n2 3 4\n1 3 5\n", encoding="utf-8")
+        sniffed = api.load_graph(str(events))
+        assert (sniffed.num_vertices, sniffed.num_edges) == (3, 3)
+        # Contacts are never sniffed (their "t u v" column order is
+        # indistinguishable from SNAP's "u v t" by eye) — explicit only.
+        explicit = api.load_graph(str(events), format="contacts")
+        assert explicit.num_edges == 3
+
+    def test_unknown_name_is_a_format_error(self):
+        with pytest.raises(api.GraphFormatError, match="named dataset"):
+            api.load_graph("no-such-thing")
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(api.GraphFormatError, match="unknown graph format"):
+            api.load_graph("transit", format="parquet")
+
+    def test_unsniffable_file_names_the_formats(self, tmp_path):
+        weird = tmp_path / "weird.txt"
+        weird.write_text("completely unrelated prose\n", encoding="utf-8")
+        with pytest.raises(api.GraphFormatError, match="cannot sniff"):
+            api.load_graph(str(weird))
+
+    def test_bad_itgr_version_rejected(self, tmp_path):
+        bogus = tmp_path / "bogus.itgr"
+        bogus.write_bytes(b"ITGR\x09" + b"\x00" * 32)
+        with pytest.raises(api.GraphFormatError, match="version 9"):
+            api.load_graph(str(bogus))
+
+    def test_stream_needs_explicit_format(self):
+        import io
+
+        with pytest.raises(api.GraphFormatError, match="open stream"):
+            api.load_graph(io.StringIO("V v1 0 5\n"))
+
+    def test_stray_options_rejected(self):
+        with pytest.raises(api.GraphFormatError, match="bucket"):
+            api.load_graph("transit", bucket=4)
 
 
 def _partitions(result):

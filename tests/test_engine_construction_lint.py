@@ -48,3 +48,30 @@ def test_lint_ignores_strings_and_attributes(tmp_path):
         encoding="utf-8",
     )
     assert lint.violations(tmp_path) == []
+
+
+def test_lint_flags_direct_loader_calls(tmp_path):
+    lint = _load_lint()
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "rogue.py").write_text(
+        "g = load_graph_binary(path)\n"
+        "h = load_snap_edgelist(path)\n",
+        encoding="utf-8",
+    )
+    hits = lint.violations(tmp_path)
+    assert len(hits) == 2
+    assert any("load_graph_binary" in hit for hit in hits)
+    assert any("api.load_graph" in hit for hit in hits)
+
+
+def test_lint_allows_loaders_inside_graph_package(tmp_path):
+    lint = _load_lint()
+    pkg = tmp_path / "src" / "repro" / "graph"
+    pkg.mkdir(parents=True)
+    (pkg / "binary_io.py").write_text(
+        "def load_graph_binary(source):\n    return None\n", encoding="utf-8"
+    )
+    api = tmp_path / "src" / "repro" / "api.py"
+    api.write_text("graph = load_graph_binary(source)\n", encoding="utf-8")
+    assert lint.violations(tmp_path) == []
