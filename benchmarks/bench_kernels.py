@@ -35,6 +35,12 @@ Times the engine's four hot kernels on synthetic workloads —
                     Gated like checkpointing, with a hard <10% ceiling in
                     full mode: structured events are emitted per superstep,
                     not per message, so tracing must stay near-free.
+* **span_overhead** — the engine workload on the *parallel* executor,
+                    fully instrumented (per-worker ``worker_span`` phase
+                    records, trace writer flushing per event) against the
+                    bare parallel run, after asserting identical states
+                    and untouched modeled metrics.  Hard <10% ceiling in
+                    full mode: per-worker tracing must stay near-free.
 * **partition**     — the locality synthetic graph under greedy (LDG) and
                     interval-greedy partitioning against Giraph-style hash
                     partitioning (paper Sec. VII-A4), after asserting
@@ -142,7 +148,14 @@ IMPROVEMENT_FLOOR = {"engine_parallel": 1.25}
 #: Hard ceiling on overhead-style metrics (instrumented / plain wall-clock).
 #: The checkpoint cadence of 4 must cost <15% on the 10k-message workload;
 #: full observability instrumentation must cost <10% on the same workload.
-OVERHEAD_CAP = {"checkpoint_overhead": 1.15, "observability_overhead": 1.10}
+#: ``span_overhead`` caps the worker_span event emission + per-event trace
+#: flush on the parallel executor at <10% — per-worker tracing must stay
+#: near-free or nobody will leave it on.
+OVERHEAD_CAP = {
+    "checkpoint_overhead": 1.15,
+    "observability_overhead": 1.10,
+    "span_overhead": 1.10,
+}
 #: Parallel-executor floors only bind when this many cores are available —
 #: below that the speedup is physically out of reach.
 FLOOR_MIN_CORES = 4
@@ -500,6 +513,79 @@ def bench_observability_overhead(sizes, repeats):
         "ref_s": plain_s,
         "overhead": instrumented_s / plain_s,
         "events": len(events.records),
+        "messages": plain.metrics.messages_sent,
+    }
+
+
+def bench_span_overhead(sizes, repeats):
+    """Per-worker phase spans (schema v5) on the *parallel* executor:
+    fully instrumented run vs the bare parallel run, same workload.
+
+    The span machinery has two cost sites — the unconditional in-worker
+    phase timers (perf_counter pairs around scatter/encode/exchange,
+    present in both runs) and the observer-side ``worker_span`` event
+    emission with its per-event trace flush (instrumented run only).
+    The gated quotient bounds the second; the first is bounded by the
+    ``engine_parallel`` speedup floor staying green.
+    """
+    graph = _build_engine_workload(sizes)
+    shards = sizes["engine_shards"]
+    supersteps = sizes["engine_supersteps"]
+    procs = sizes["engine_procs"]
+
+    def run(observe=None):
+        return api.run(
+            graph, _FloodMin(supersteps), cluster=SimulatedCluster(shards),
+            options={
+                "executor": "parallel",
+                "executor_processes": procs,
+                "checkpoint_every": 0,
+            },
+            observe=observe,
+        )
+
+    trace_dir = tempfile.mkdtemp(prefix="bench-span-")
+    trace_path = os.path.join(trace_dir, "bench.trace")
+
+    def instrumented():
+        return run(observe=[InMemoryEvents(), JsonlTraceWriter(trace_path)])
+
+    try:
+        plain = run()
+        events = InMemoryEvents()
+        observed = run(observe=[events, JsonlTraceWriter(trace_path)])
+        assert {v: list(s) for v, s in plain.states.items()} == \
+               {v: list(s) for v, s in observed.states.items()}, (
+            "span-instrumented parallel run diverged from the plain run"
+        )
+        spans = events.of_type("worker_span")
+        assert spans, "parallel run emitted no worker_span events"
+        workers = {s["data"]["worker"] for s in spans}
+        assert workers == set(range(procs)), (
+            f"expected spans from workers {set(range(procs))}, got {workers}"
+        )
+        for span in spans:
+            wall = span["wall"]
+            for phase in span["data"]["phases"]:
+                assert 0.0 <= wall[f"{phase}_s"] <= wall["total_s"] + 1e-12, (
+                    f"span phase {phase} out of bounds: {wall}"
+                )
+        modeled = RUN_METRICS.names(modeled=True)
+        assert all(
+            getattr(plain.metrics, f) == getattr(observed.metrics, f)
+            for f in modeled
+        ), "span capture perturbed the modeled metrics"
+        plain_s = best_of(run, repeats)
+        instrumented_s = best_of(instrumented, repeats)
+    finally:
+        shutil.rmtree(trace_dir, ignore_errors=True)
+    return {
+        "opt_s": instrumented_s,
+        "ref_s": plain_s,
+        "overhead": instrumented_s / plain_s,
+        "events": len(events.records),
+        "spans": len(spans),
+        "processes": procs,
         "messages": plain.metrics.messages_sent,
     }
 
@@ -933,6 +1019,7 @@ def main(argv=None) -> int:
         ("checkpoint_overhead", lambda: bench_checkpoint_overhead(sizes, repeats)),
         ("observability_overhead",
          lambda: bench_observability_overhead(sizes, repeats)),
+        ("span_overhead", lambda: bench_span_overhead(sizes, repeats)),
         ("partition_quality", lambda: bench_partition_quality(sizes)),
         ("exchange_bytes", lambda: bench_exchange_bytes(sizes)),
         ("serve_cache", lambda: bench_serve_cache(sizes, repeats)),

@@ -20,6 +20,18 @@ must agree — raw bytes are a count-preserving invariant of the run, not
 of the topology or of combining.  A serial trace has no wire, so its
 zero raw total is reported but never compared.
 
+``worker_span`` records (schema v5) are excluded from the logical diff —
+their *count* is a property of the executor shape (one span per worker
+per superstep), so serial vs parallel traces legitimately differ there.
+They get their own check instead: when both traces were produced by the
+same executor shape (identical worker-id sets), the per-superstep
+sequence of logical span facts — worker id, superstep, phase list —
+must match exactly; star vs peer topologies at the same process count
+may not disagree about which workers ran which supersteps.  Wall
+durations are never compared.  When the shapes differ (serial vs
+parallel, different process counts) the check prints a note and is
+skipped.
+
 Usage: ``python scripts/diff_traces.py A.trace B.trace``
 """
 
@@ -50,6 +62,58 @@ def wire_totals(records) -> dict[str, int]:
         totals["shipped"] += record["wall"].get("exchange_bytes", 0)
         totals["raw"] += record["wall"].get("exchange_raw_bytes", 0)
     return totals
+
+
+def span_facts(records) -> list[tuple[int, int, tuple[str, ...]]]:
+    """The logical facts of every ``worker_span`` record, in emission
+    order: (superstep, worker id, phase tuple).  Wall durations excluded."""
+    return [
+        (r["superstep"], r["data"]["worker"], tuple(r["data"]["phases"]))
+        for r in records
+        if r["type"] == "worker_span"
+    ]
+
+
+def diff_spans(left, right, left_path: str, right_path: str) -> bool:
+    """Compare worker_span logical facts; returns True on failure.
+
+    Only comparable when both traces come from the same executor shape
+    (identical worker-id sets) — star vs peer at equal process counts
+    must agree; serial vs parallel is skipped with a note.
+    """
+    left_workers = {w for _, w, _ in left}
+    right_workers = {w for _, w, _ in right}
+    if not left or not right:
+        print("  worker spans: absent from at least one trace "
+              "(pre-v5 or span-free run) — span check skipped")
+        return False
+    if left_workers != right_workers:
+        print(f"  worker spans: different executor shapes "
+              f"({sorted(left_workers)} vs {sorted(right_workers)}) — "
+              f"span check skipped (serial vs parallel is expected to differ)")
+        return False
+    if left == right:
+        print(f"  worker spans logically identical "
+              f"({len(left)} spans, {len(left_workers)} worker(s))")
+        return False
+    print(f"  worker spans disagree: {left_path} has {len(left)}, "
+          f"{right_path} has {len(right)}")
+    for i, (a, b) in enumerate(zip(left, right)):
+        if a != b:
+            print(f"    first divergence at span {i}:")
+            print(f"      {left_path}: superstep={a[0]} worker={a[1]} "
+                  f"phases={a[2]}")
+            print(f"      {right_path}: superstep={b[0]} worker={b[1]} "
+                  f"phases={b[2]}")
+            break
+    else:
+        longer, path = (
+            (left, left_path) if len(left) > len(right) else (right, right_path)
+        )
+        extra = longer[min(len(left), len(right))]
+        print(f"    {path} continues with: superstep={extra[0]} "
+              f"worker={extra[1]}")
+    return True
 
 
 def main(argv: list[str]) -> int:
@@ -87,6 +151,11 @@ def main(argv: list[str]) -> int:
             f"remote {wire['remote']} (modeled), wire shipped "
             f"{wire['shipped']} / raw {wire['raw']}"
         )
+    if diff_spans(
+        span_facts(left_records), span_facts(right_records),
+        left_path, right_path,
+    ):
+        failed = True
     if left_wire["raw"] and right_wire["raw"] and left_wire["raw"] != right_wire["raw"]:
         failed = True
         print(

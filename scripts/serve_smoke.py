@@ -12,7 +12,10 @@ it over the Unix socket through the real wire client:
 4. a held query (``hold_s``) pinning the single lane while a concurrent
    query is rejected with the typed ``queue_full`` backpressure error;
 5. a different-interval query — a distinct cache key, answered cold;
-6. a clean ``shutdown`` frame: the daemon exits 0 and removes its socket.
+6. a live scrape of the ``--metrics-port`` HTTP endpoint: valid
+   Prometheus text carrying the serve counters, the query-latency
+   histogram series and the per-lane heartbeat gauges;
+7. a clean ``shutdown`` frame: the daemon exits 0 and removes its socket.
 
 Exits non-zero (via assert) on any violation.  No third-party deps.
 
@@ -24,10 +27,12 @@ Usage::
 from __future__ import annotations
 
 import os
+import socket
 import subprocess
 import sys
 import tempfile
 import threading
+import urllib.request
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -37,14 +42,22 @@ from repro.serve import QueueFullError  # noqa: E402
 from repro.serve.client import QueryClient  # noqa: E402
 
 
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
 def main() -> int:
     tmp = tempfile.mkdtemp(prefix="repro-serve-smoke-")
     socket_path = os.path.join(tmp, "repro.sock")
+    metrics_port = _free_port()
     env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
     daemon = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", "--socket", socket_path,
          "--dataset", "transit", "--workers", "4",
-         "--max-concurrency", "1", "--queue-depth", "0"],
+         "--max-concurrency", "1", "--queue-depth", "0",
+         "--metrics-port", str(metrics_port)],
         env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
     )
     try:
@@ -102,6 +115,34 @@ def main() -> int:
                 "interval slice answered with the full-horizon payload"
             )
             print("interval query: ok (distinct cache key)")
+
+            # Scrape the live metrics endpoint while the daemon serves.
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{metrics_port}/metrics", timeout=10
+            ) as response:
+                assert response.status == 200
+                body = response.read().decode("utf-8")
+            for needle in (
+                "# TYPE repro_queries_served_total counter",
+                "repro_queries_served_total",
+                "# TYPE repro_query_latency_seconds histogram",
+                'repro_query_latency_seconds_bucket',
+                'le="+Inf"',
+                "repro_query_latency_seconds_count",
+                "# TYPE repro_serve_lane_idle_seconds gauge",
+                'repro_serve_lane_queries_total{lane="0"}',
+                'repro_serve_lane_idle_seconds{lane="0"',
+            ):
+                assert needle in body, f"metrics scrape missing {needle!r}"
+            served = next(
+                line for line in body.splitlines()
+                if line.startswith("repro_queries_served_total")
+            )
+            assert int(served.rsplit(" ", 1)[1]) >= 4, (
+                f"served counter too low in scrape: {served}"
+            )
+            print(f"metrics scrape: ok ({len(body.splitlines())} lines "
+                  f"from port {metrics_port})")
 
             client.shutdown()
         daemon.wait(timeout=30)

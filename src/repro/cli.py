@@ -33,6 +33,7 @@ from repro.obs.exporters import (
     render_report,
     render_summary,
     render_timeline,
+    render_workers,
 )
 from repro.runtime.cluster import SimulatedCluster
 
@@ -210,7 +211,10 @@ def cmd_report(args: argparse.Namespace) -> int:
     except (OSError, ValueError) as exc:
         print(f"cannot read trace: {exc}")
         return 2
-    if args.timeline:
+    if args.workers:
+        print(f"per-worker phase breakdown of {args.trace}:")
+        print(render_workers(records))
+    elif args.timeline:
         print(f"timeline of {args.trace}:")
         print(render_timeline(records))
     else:
@@ -282,7 +286,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
     signal.signal(signal.SIGINT, _stop)
     print(f"serving {graph_name} ({graph.num_vertices} vertices, "
           f"{graph.num_edges} edges) on {args.socket}", flush=True)
-    daemon.serve_forever()
+    endpoint = None
+    if args.metrics_port is not None:
+        from repro.serve.metrics_http import MetricsEndpoint
+
+        endpoint = MetricsEndpoint(service, args.metrics_port).start()
+        print(f"metrics on http://127.0.0.1:{endpoint.port}/metrics",
+              flush=True)
+    try:
+        daemon.serve_forever()
+    finally:
+        if endpoint is not None:
+            endpoint.stop()
     if args.metrics_out is not None:
         with open(args.metrics_out, "w", encoding="utf-8") as fh:
             fh.write(prometheus_text(service.metrics))
@@ -399,6 +414,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_rp.add_argument("--timeline", action="store_true",
                       help="per-superstep phase table instead of the "
                            "per-algorithm breakdown")
+    p_rp.add_argument("--workers", action="store_true",
+                      help="per-worker phase breakdown with straggler "
+                           "(max/mean) imbalance ratios, from the trace's "
+                           "worker_span records")
     p_rp.set_defaults(fn=cmd_report)
 
     p_tr = sub.add_parser("trace", help="render an execution trace")
@@ -444,6 +463,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sv.add_argument("--metrics-out", default=None, metavar="FILE",
                       help="write serving metrics in Prometheus text format "
                            "on shutdown")
+    p_sv.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                      help="serve live Prometheus metrics (plus per-lane "
+                           "heartbeat gauges) over HTTP GET /metrics on "
+                           "127.0.0.1:PORT while the daemon runs (0 picks "
+                           "a free port, printed at startup)")
     add_common(p_sv)
     p_sv.set_defaults(fn=cmd_serve)
 

@@ -39,7 +39,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional
 
 from repro.graph.compact import resolve_graph_store
-from repro.obs.events import EventStream
+from repro.obs.events import EventStream, WORKER_SPAN_PHASES
 from repro.obs.observers import JsonlTraceWriter
 from repro.runtime.cluster import SimulatedCluster
 from repro.runtime.metrics import RunMetrics
@@ -186,6 +186,10 @@ class VertexProcessor:
         self.suppression_expansion_cap = suppression_expansion_cap
         self.tracer = tracer
         self.superstep = 0
+        #: Measured wall-clock the current superstep spent inside
+        #: :meth:`scatter_updates`; the driving executor resets it per
+        #: superstep and folds it into that step's ``worker_span``.
+        self.scatter_wall = 0.0
         #: vid → scatter indexes of its out-edges, built on first scatter
         #: and reused across supersteps (the graph is immutable per run).
         self._edge_index: dict[Any, list[_EdgePieceIndex]] = {}
@@ -401,13 +405,20 @@ class VertexProcessor:
         updated = ctx._take_updates()
         if not updated:
             return 0.0
+        out_edges = self._edge_pieces_of(ctx.vertex_id)
+        if not out_edges:
+            return 0.0
+        t_scatter = time.perf_counter()
+        try:
+            return self._scatter_windows(ctx, updated, out_edges, metrics, send)
+        finally:
+            self.scatter_wall += time.perf_counter() - t_scatter
+
+    def _scatter_windows(self, ctx, updated, out_edges, metrics, send) -> float:
         program = self.program
         model = self.model
         cost = 0.0
         vid = ctx.vertex_id
-        out_edges = self._edge_pieces_of(vid)
-        if not out_edges:
-            return 0.0
         outbox: dict[Any, list[IntervalMessage]] = {}
         for window in updated:
             # Both the state slices and each edge's pieces are partitioned
@@ -1039,6 +1050,22 @@ class IntervalCentricEngine:
                 "exchange_raw_bytes": step.exchange_raw_bytes,
             },
         )
+        for worker, spans in enumerate(step.worker_spans):
+            events.emit(
+                "worker_span",
+                superstep=superstep,
+                data={
+                    "worker": worker,
+                    "phases": list(WORKER_SPAN_PHASES),
+                },
+                wall={
+                    **{f"{phase}_s": spans.get(phase, 0.0)
+                       for phase in WORKER_SPAN_PHASES},
+                    "total_s": sum(
+                        spans.get(phase, 0.0) for phase in WORKER_SPAN_PHASES
+                    ),
+                },
+            )
         events.emit(
             "superstep_end",
             superstep=superstep,

@@ -34,6 +34,7 @@ from repro.obs.events import (
     EVENT_SCHEMA_VERSION,
     EVENT_TYPES,
     EventStream,
+    WORKER_SPAN_PHASES,
     logical_view,
     validate_event,
 )
@@ -44,6 +45,7 @@ from repro.obs.exporters import (
     render_report,
     render_summary,
     render_timeline,
+    render_workers,
     split_runs,
 )
 from repro.obs.observers import InMemoryEvents, JsonlTraceWriter, RunObserver
@@ -51,6 +53,7 @@ from repro.obs.registry import (
     RECOVERY_METRICS,
     RUN_METRICS,
     SERVE_METRICS,
+    Histogram,
     MetricRegistry,
     MetricSpec,
 )
@@ -59,6 +62,7 @@ __all__ = [
     "EVENT_SCHEMA_VERSION",
     "EVENT_TYPES",
     "EventStream",
+    "Histogram",
     "InMemoryEvents",
     "JsonlTraceWriter",
     "MetricRegistry",
@@ -67,6 +71,7 @@ __all__ = [
     "RUN_METRICS",
     "RunObserver",
     "SERVE_METRICS",
+    "WORKER_SPAN_PHASES",
     "logical_sequence",
     "logical_view",
     "prometheus_text",
@@ -74,6 +79,7 @@ __all__ = [
     "render_report",
     "render_summary",
     "render_timeline",
+    "render_workers",
     "split_runs",
     "validate_event",
 ]

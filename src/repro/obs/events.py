@@ -39,6 +39,7 @@ __all__ = [
     "EVENT_SCHEMA_VERSION",
     "EVENT_TYPES",
     "EventStream",
+    "WORKER_SPAN_PHASES",
     "logical_view",
     "validate_event",
 ]
@@ -48,8 +49,16 @@ __all__ = [
 #: the local/remote byte split to ``barrier_exchange``; v4 added the
 #: serving-tier lifecycle events (``query_admitted`` / ``query_start`` /
 #: ``query_end`` / ``cache_hit`` / ``cache_evict``) emitted by
-#: `repro.serve`.
-EVENT_SCHEMA_VERSION = 4
+#: `repro.serve`; v5 added the per-worker ``worker_span`` phase records.
+EVENT_SCHEMA_VERSION = 5
+
+#: The phases every ``worker_span`` record times, in execution order:
+#: vertex computation, the scatter time-join, wire encoding of outbound
+#: batches, waiting on peer frames (peer topology; 0 under star), and
+#: idle time at the barrier before this superstep's command arrived.
+WORKER_SPAN_PHASES = (
+    "compute", "scatter", "encode", "exchange_wait", "barrier_wait",
+)
 
 #: Event type → required ``data`` keys.  ``superstep`` must be ``None``
 #: for the types in :data:`RUN_LEVEL_TYPES` and a positive int otherwise.
@@ -68,6 +77,14 @@ EVENT_TYPES: Dict[str, Tuple[str, ...]] = {
     "barrier_exchange": ("local_messages", "remote_messages",
                          "local_bytes", "remote_bytes"),
     "superstep_end": ("active", "modeled_compute_s", "modeled_messaging_s"),
+    # per-worker phase spans (schema v5) — one record per executor worker
+    # per superstep, between ``barrier_exchange`` and ``superstep_end``.
+    # ``data`` carries only what is deterministic *for a fixed executor
+    # shape* (the worker id and the constant phase list); every duration
+    # is a measured wall fact.  Because serial runs emit one span and an
+    # N-process parallel run emits N, ``worker_span`` is the one type the
+    # cross-executor logical diff skips (`exporters.logical_sequence`).
+    "worker_span": ("worker", "phases"),
     # durability & recovery
     "checkpoint_write": (),
     "worker_death": ("worker",),

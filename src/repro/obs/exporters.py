@@ -14,9 +14,10 @@ Three output formats over the same data:
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-from repro.obs.events import decode_event, logical_view
+from repro.obs.events import WORKER_SPAN_PHASES, decode_event, logical_view
 from repro.obs.registry import RECOVERY_METRICS, RUN_METRICS, SERVE_METRICS
 
 __all__ = [
@@ -26,6 +27,7 @@ __all__ = [
     "render_report",
     "render_summary",
     "render_timeline",
+    "render_workers",
     "split_runs",
 ]
 
@@ -107,49 +109,83 @@ def _render_serve_summary(metrics) -> str:
 
 def _prom_name(spec) -> str:
     name = f"repro_{spec.name}"
-    if spec.kind == "time" and not name.endswith("_seconds"):
+    if spec.kind in ("time", "histogram") and spec.unit == "seconds" \
+            and not name.endswith("_seconds"):
         name += "_seconds"
     if spec.kind == "counter":
         name += "_total"
     return name
 
 
+def _prom_escape(value: Any) -> str:
+    """Label-value escaping per the text exposition format: backslash,
+    double quote, and line feed."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _prom_labels(pairs: Iterable[Tuple[str, str]]) -> str:
     inner = ",".join(
-        '%s="%s"' % (k, str(v).replace("\\", "\\\\").replace('"', '\\"'))
-        for k, v in pairs if v
+        '%s="%s"' % (k, _prom_escape(v)) for k, v in pairs if v
     )
     return "{%s}" % inner if inner else ""
+
+
+def _prom_float(value: float) -> str:
+    """A float sample value; Prometheus spells infinities ``+Inf``/``-Inf``."""
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(float(value))
 
 
 def prometheus_text(metrics) -> str:
     """Prometheus text-format exposition of one run's metrics.
 
-    Counter/gauge typing, units and help strings all come from the
-    metric registry, so this stays in lockstep with ``RunMetrics`` — and
-    with ``ServeMetrics``, which expose the serving registry instead.
+    Counter/gauge/histogram typing, units and help strings all come from
+    the metric registry, so this stays in lockstep with ``RunMetrics`` —
+    and with ``ServeMetrics``, which expose the serving registry instead
+    (including its ``histogram``-kind latency distribution, rendered as
+    the standard ``_bucket``/``_sum``/``_count`` series).
     """
-    labels = _prom_labels(
-        (
-            ("platform", metrics.platform),
-            ("algorithm", metrics.algorithm),
-            ("graph", metrics.graph),
-            ("executor", metrics.executor),
-        )
+    label_pairs = (
+        ("platform", metrics.platform),
+        ("algorithm", metrics.algorithm),
+        ("graph", metrics.graph),
+        ("executor", metrics.executor),
     )
+    labels = _prom_labels(label_pairs)
     lines: List[str] = []
+
+    def emit_histogram(name, labelled, histogram):
+        base = [(k, v) for k, v in labelled if v]
+        for le, count in histogram.cumulative():
+            bucket = _prom_labels((*base, ("le", _prom_float(le))))
+            lines.append(f"{name}_bucket{bucket} {count}")
+        lines.append(f"{name}_sum{labels} {_prom_float(histogram.sum)}")
+        lines.append(f"{name}_count{labels} {histogram.count}")
 
     def emit(registry, source):
         for spec in registry:
             name = _prom_name(spec)
-            prom_type = "counter" if spec.kind == "counter" else "gauge"
             value = getattr(source, spec.name)
+            if spec.kind == "histogram":
+                lines.append(f"# HELP {name} {spec.help}")
+                lines.append(f"# TYPE {name} histogram")
+                emit_histogram(name, label_pairs, value)
+                continue
+            prom_type = "counter" if spec.kind == "counter" else "gauge"
             lines.append(f"# HELP {name} {spec.help}")
             lines.append(f"# TYPE {name} {prom_type}")
             if spec.value == "int":
                 lines.append(f"{name}{labels} {value}")
             else:
-                lines.append(f"{name}{labels} {value!r}")
+                lines.append(f"{name}{labels} {_prom_float(value)}")
 
     if _is_serve_metrics(metrics):
         emit(SERVE_METRICS, metrics)
@@ -165,24 +201,48 @@ def prometheus_text(metrics) -> str:
 
 
 def read_trace(path) -> List[Dict[str, Any]]:
-    """Load and validate every record of a JSON-lines trace file."""
+    """Load and validate every record of a JSON-lines trace file.
+
+    A malformed record mid-file is corruption and raises.  A malformed
+    *final* record is the signature of a run killed mid-write (the trace
+    writer flushes per event, so everything up to the torn line is
+    intact) — it is dropped with a warning instead, which is what lets
+    post-mortem tooling read the trace of a SIGKILLed run.
+    """
     records = []
+    bad: Optional[Tuple[int, str, ValueError]] = None
     with open(path, "r", encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line:
                 continue
+            if bad is not None:
+                # The malformed line was not the last one: corruption.
+                raise ValueError(f"{path}:{bad[0]}: {bad[2]}") from None
             try:
                 records.append(decode_event(line))
             except ValueError as exc:
-                raise ValueError(f"{path}:{lineno}: {exc}") from None
+                bad = (lineno, line, exc)
+    if bad is not None:
+        warnings.warn(
+            f"{path}:{bad[0]}: dropping truncated trailing trace record "
+            f"(run killed mid-write?): {bad[2]}",
+            stacklevel=2,
+        )
     return records
 
 
 def logical_sequence(records) -> List[Tuple[str, Optional[int], Tuple]]:
     """The trace's deterministic projection — what CI diffs across
-    executors (wall-clock facts stripped)."""
-    return [logical_view(r) for r in records]
+    executors (wall-clock facts stripped).
+
+    ``worker_span`` records are excluded: their count is a property of
+    the executor shape (one per worker per superstep), so a serial trace
+    and an N-process parallel trace of the same run legitimately differ
+    there.  Cross-*topology* span comparison (star vs peer at equal
+    process counts) is ``scripts/diff_traces.py``'s separate check.
+    """
+    return [logical_view(r) for r in records if r["type"] != "worker_span"]
 
 
 def split_runs(records) -> List[List[Dict[str, Any]]]:
@@ -288,4 +348,64 @@ def render_report(records) -> str:
         )
     if len(lines) == 1:
         lines.append("  (no completed runs in trace)")
+    return "\n".join(lines)
+
+
+def render_workers(records) -> str:
+    """Per-worker, per-phase wall-clock breakdown with imbalance ratios.
+
+    Aggregates every ``worker_span`` record (schema v5) across the trace:
+    one row per worker with its total seconds in each phase, then one
+    imbalance line per phase — max over mean across workers, the
+    straggler metric the paper's load-balance discussion (Table 4,
+    Figs. 7–9) reasons about.  Replayed supersteps after fault recovery
+    keep only their latest emission, matching ``render_timeline``.
+    """
+    # (superstep, worker) → phase dict; later emissions win.
+    latest: Dict[Tuple[int, int], Dict[str, float]] = {}
+    for record in records:
+        if record["type"] != "worker_span":
+            continue
+        wall = record["wall"]
+        latest[(record["superstep"], record["data"]["worker"])] = {
+            phase: wall.get(f"{phase}_s", 0.0) for phase in WORKER_SPAN_PHASES
+        }
+    if not latest:
+        return "  (no worker_span records in trace — schema v5 required)"
+    per_worker: Dict[int, Dict[str, float]] = {}
+    for (_superstep, worker), spans in latest.items():
+        agg = per_worker.setdefault(
+            worker, {phase: 0.0 for phase in WORKER_SPAN_PHASES}
+        )
+        for phase, seconds in spans.items():
+            agg[phase] += seconds
+    columns = (*WORKER_SPAN_PHASES, "total")
+
+    def row(label: str, cells) -> str:
+        return f"  {label:>8s}" + "".join(f" {cell:>14s}" for cell in cells)
+
+    lines = [row("worker", columns)]
+    for worker in sorted(per_worker):
+        agg = per_worker[worker]
+        cells = [f"{agg[phase] * 1e3:.3f} ms" for phase in WORKER_SPAN_PHASES]
+        cells.append(f"{sum(agg.values()) * 1e3:.3f} ms")
+        lines.append(row(str(worker), cells))
+
+    def imbalance(values) -> str:
+        mean = sum(values) / len(values)
+        return f"{max(values) / mean:.2f}x" if mean > 0 else "n/a"
+
+    ratio_cells = [
+        imbalance([per_worker[w][phase] for w in per_worker])
+        for phase in WORKER_SPAN_PHASES
+    ]
+    ratio_cells.append(
+        imbalance([sum(per_worker[w].values()) for w in per_worker])
+    )
+    lines.append(row("max/mean", ratio_cells))
+    lines.append(
+        f"  ({len(latest)} spans over "
+        f"{len({s for s, _ in latest})} superstep(s), "
+        f"{len(per_worker)} worker(s); max/mean near 1.00x = balanced)"
+    )
     return "\n".join(lines)

@@ -36,8 +36,16 @@ class InMemoryEvents(RunObserver):
         self.records.append(record)
 
     def logical(self) -> List[Tuple[str, Optional[int], Tuple]]:
-        """The deterministic event sequence (type, superstep, data items)."""
-        return [logical_view(r) for r in self.records]
+        """The deterministic event sequence (type, superstep, data items).
+
+        ``worker_span`` records are excluded, matching
+        :func:`repro.obs.exporters.logical_sequence`: span *count* is a
+        property of the executor shape, so keeping them would make a
+        serial run logically differ from a parallel one by construction.
+        """
+        return [
+            logical_view(r) for r in self.records if r["type"] != "worker_span"
+        ]
 
     def of_type(self, type: str) -> List[Dict[str, Any]]:
         return [r for r in self.records if r["type"] == type]
@@ -51,6 +59,12 @@ class JsonlTraceWriter(RunObserver):
     runs into one combined trace, which ``repro report`` then splits back
     into runs on ``run_start`` markers.  ``close()`` is safe to call many
     times; a later event simply reopens the file.
+
+    Every record is flushed as it is written, so a run killed without
+    warning (SIGKILL, OOM) leaves a trace readable up to its last
+    complete record — ``read_trace`` drops at most one torn trailing
+    line.  Events are superstep-granular, so the per-event flush is in
+    the observability overhead the benchmark gate already caps.
     """
 
     def __init__(self, path):
@@ -65,6 +79,7 @@ class JsonlTraceWriter(RunObserver):
             self._fh = open(self.path, "a", encoding="utf-8")
         self._fh.write(encode_event(record))
         self._fh.write("\n")
+        self._fh.flush()
 
     def close(self) -> None:
         if self._fh is not None:

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Iterator, Optional, Tuple
 
 __all__ = [
+    "Histogram",
     "MetricRegistry",
     "MetricSpec",
     "RECOVERY_METRICS",
@@ -27,23 +28,69 @@ __all__ = [
     "SERVE_METRICS",
 ]
 
+#: Default latency buckets (seconds) — Prometheus-style upper bounds.
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
+
+
+class Histogram:
+    """A fixed-bucket histogram, the hot-path value of a ``histogram``-kind
+    metric.
+
+    Prometheus semantics: ``bounds`` are inclusive upper bounds of the
+    finite buckets, an implicit ``+Inf`` bucket catches the rest, and
+    :meth:`cumulative` returns the non-decreasing per-``le`` counts the
+    text exposition format wants.  No locking — observers already
+    serialise on the owning service's metric updates.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds=DEFAULT_BUCKETS):
+        self.bounds = tuple(sorted(float(b) for b in bounds))
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.counts = [0] * (len(self.bounds) + 1)  # +1: the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def cumulative(self):
+        """``(le, cumulative_count)`` pairs, finite bounds then ``+Inf``."""
+        total = 0
+        out = []
+        for bound, n in zip(self.bounds, self.counts):
+            total += n
+            out.append((bound, total))
+        out.append((float("inf"), total + self.counts[-1]))
+        return out
+
 
 @dataclass(frozen=True)
 class MetricSpec:
     """One metric's schema entry.
 
-    ``value`` is the Python representation (``"int"``/``"float"``);
-    ``kind`` the semantic class (``counter`` monotone within a run,
-    ``gauge`` a high-water mark, ``time`` a duration); ``modeled`` marks
-    quantities produced by the deterministic cluster model — bit-identical
-    across executors — as opposed to measured wall-clock facts;
-    ``worker_field`` marks counters folded from parallel worker reports
-    at the barrier.
+    ``value`` is the Python representation (``"int"``/``"float"``;
+    ``histogram``-kind metrics hold a :class:`Histogram` and declare
+    ``"float"`` for their observed values); ``kind`` the semantic class
+    (``counter`` monotone within a run, ``gauge`` a high-water mark,
+    ``time`` a duration, ``histogram`` a bucketed distribution);
+    ``modeled`` marks quantities produced by the deterministic cluster
+    model — bit-identical across executors — as opposed to measured
+    wall-clock facts; ``worker_field`` marks counters folded from
+    parallel worker reports at the barrier.
     """
 
     name: str
     value: str  # "int" | "float"
-    kind: str  # "counter" | "gauge" | "time"
+    kind: str  # "counter" | "gauge" | "time" | "histogram"
     unit: str
     help: str
     modeled: bool = True
@@ -52,7 +99,7 @@ class MetricSpec:
     def __post_init__(self):
         if self.value not in ("int", "float"):
             raise ValueError(f"bad value type {self.value!r} for {self.name}")
-        if self.kind not in ("counter", "gauge", "time"):
+        if self.kind not in ("counter", "gauge", "time", "histogram"):
             raise ValueError(f"bad kind {self.kind!r} for {self.name}")
 
 
@@ -249,6 +296,9 @@ SERVE_METRICS = MetricRegistry(
         MetricSpec("graph_resident_bytes", "int", "gauge", "bytes",
                    "resident bytes of the served graph's backing store "
                    "(exact for a compact graph, modeled for heap graphs)",
+                   modeled=False),
+        MetricSpec("query_latency", "float", "histogram", "seconds",
+                   "distribution of per-query wall-clock latency",
                    modeled=False),
     ),
 )

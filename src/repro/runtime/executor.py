@@ -235,6 +235,7 @@ class SerialExecutor:
 
         calls_before = metrics.compute_calls
         scatter_before = metrics.scatter_calls
+        processor.scatter_wall = 0.0
         t0 = time.perf_counter()
         for vid in active:
             ctx = contexts[vid]
@@ -253,6 +254,16 @@ class SerialExecutor:
         step = cluster.end_superstep(metrics)
         step.compute_time = compute_wall
         step.worker_wall_times = [compute_wall]
+        # One span for the single in-process "worker": compute and the
+        # scatter time-join are measured; the wire/barrier phases do not
+        # exist serially and report 0.
+        step.worker_spans = [{
+            "compute": max(0.0, compute_wall - processor.scatter_wall),
+            "scatter": processor.scatter_wall,
+            "encode": 0.0,
+            "exchange_wait": 0.0,
+            "barrier_wait": 0.0,
+        }]
         step.compute_calls = metrics.compute_calls - calls_before
         step.scatter_calls = metrics.scatter_calls - scatter_before
         return len(active)
@@ -382,6 +393,14 @@ class _WorkerRuntime:
             else None
         )
         self._scan_s = payload.compute_model.per_message_scan_s
+        #: Idle wall-clock before the current step command arrived, set by
+        #: ``_worker_main`` around ``conn.recv()``; superstep 1 includes
+        #: the process-boot wait, which is exactly the straggler signal a
+        #: slow-forking worker should show.
+        self.barrier_wait = 0.0
+        # Per-superstep phase timers (reset at the top of ``step``).
+        self._encode_s = 0.0
+        self._exchange_wait_s = 0.0
         # Peer exchange plumbing (empty/no-op under the star topology).
         self.peer_conns = payload.peer_conns or {}
         self._peer_ids = sorted(self.peer_conns)
@@ -546,6 +565,9 @@ class _WorkerRuntime:
         shard_compute: dict[int, float] = {}
         processor = self.processor
         worker_of = self.partitioner.worker_of
+        processor.scatter_wall = 0.0
+        self._encode_s = 0.0
+        self._exchange_wait_s = 0.0
 
         t0 = time.perf_counter()
         for vid in active:
@@ -571,8 +593,10 @@ class _WorkerRuntime:
         if self.peer_conns:
             exchange_bytes = self._exchange_peer(die_in_exchange)
         else:
+            t_enc = time.perf_counter()
             for dest, out_entries in self._out.items():
                 out[dest] = encode_routed_batch(out_entries)
+            self._encode_s += time.perf_counter() - t_enc
             if die_in_exchange:
                 # Star analog of the mid-exchange kill: die with the
                 # outbound batches encoded but the report never sent.
@@ -583,6 +607,16 @@ class _WorkerRuntime:
             "active": len(active),
             "wall": wall,
             "wire_s": wire_s,
+            # Measured phase spans for this worker's superstep
+            # (`repro.obs.events.WORKER_SPAN_PHASES`); the master folds
+            # them into ``SuperstepMetrics.worker_spans`` in worker order.
+            "spans": {
+                "compute": max(0.0, wall - processor.scatter_wall),
+                "scatter": processor.scatter_wall,
+                "encode": self._encode_s,
+                "exchange_wait": self._exchange_wait_s,
+                "barrier_wait": self.barrier_wait,
+            },
             "sent": self._app,
             "exchange_bytes": exchange_bytes,
             "raw_wire": self._raw_wire,
@@ -613,12 +647,14 @@ class _WorkerRuntime:
         readable and decodes each frame straight out of the reusable
         receive buffer.  Returns the bytes this worker put on the wire.
         """
+        t_enc = time.perf_counter()
         sent_bytes = 0
         for q in self._peer_ids:
             buf = self._send_bufs[q]
             del buf[:]
             encode_routed_batch_into(self._out.get(q, ()), buf)
             sent_bytes += len(buf)
+        self._encode_s += time.perf_counter() - t_enc
 
         def _sender() -> None:
             first = True
@@ -638,6 +674,10 @@ class _WorkerRuntime:
         if die_in_exchange and not self._peer_ids:
             os.kill(os.getpid(), signal.SIGKILL)
 
+        # Everything from here to the sender join is "waiting on peers":
+        # the drain loop blocks in ``_conn_wait`` with only cheap decodes
+        # between wakeups, so its wall is the exchange_wait span.
+        t_wait = time.perf_counter()
         waiting = {self.peer_conns[q]: q for q in self._peer_ids}
         dead: Optional[int] = None
         while waiting and dead is None:
@@ -664,6 +704,7 @@ class _WorkerRuntime:
         if dead is not None:
             raise _PeerDied(dead)
         sender.join()
+        self._exchange_wait_s += time.perf_counter() - t_wait
         return sent_bytes
 
     def collect(self) -> dict[Any, Any]:
@@ -696,16 +737,21 @@ def _worker_main(payload: _ShardPayload, conn) -> None:
         conn.send(("error", traceback.format_exc(), None))
         return
     while True:
+        t_wait = time.perf_counter()
         try:
             cmd = conn.recv()
         except EOFError:
             break
+        # Idle time blocked on the master's next command — the barrier
+        # wait preceding whatever superstep this command starts.
+        wait = time.perf_counter() - t_wait
         op = cmd[0]
         if op == "stop":
             break
         try:
             if op == "step":
                 die = cmd[4] if len(cmd) > 4 else False
+                runtime.barrier_wait = wait
                 result = runtime.step(cmd[1], cmd[2], cmd[3], die)
             elif op == "collect":
                 result = runtime.collect()
@@ -993,6 +1039,9 @@ class ParallelExecutor:
         step = cluster.end_superstep(metrics)
         step.compute_time = compute_wall
         step.worker_wall_times = walls
+        # Reports come back in worker order (``_recv_all`` walks the conns
+        # in index order), so list position is the worker id.
+        step.worker_spans = [rep["spans"] for rep in reports]
         step.exchange_time = wire_max
         step.exchange_bytes = exchange_bytes
         step.exchange_raw_bytes = exchange_raw

@@ -42,6 +42,11 @@ class SuperstepMetrics:
     #: compute phase (one entry for the serial executor); complements the
     #: modeled ``max_worker_compute_time``.
     worker_wall_times: list[float] = field(default_factory=list)
+    #: Per-worker phase spans (schema v5): one dict per executor worker,
+    #: keyed by `repro.obs.events.WORKER_SPAN_PHASES` — measured seconds
+    #: in compute / scatter / encode / exchange_wait / barrier_wait.
+    #: List index is the worker id; one entry for the serial executor.
+    worker_spans: list[dict[str, float]] = field(default_factory=list)
     #: Measured wall-clock the barrier exchange spent moving messages
     #: between worker processes (0 for the serial executor).
     exchange_time: float = 0.0

@@ -23,12 +23,14 @@ from .errors import (
     ServeError,
     error_for_code,
 )
+from .metrics_http import MetricsEndpoint
 from .service import GraphService, QueryAnswer, QueryRequest, ServeMetrics
 
 __all__ = [
     "BadQueryError",
     "CacheStats",
     "GraphService",
+    "MetricsEndpoint",
     "QueryAnswer",
     "QueryRequest",
     "QueryTimeoutError",

@@ -1,0 +1,131 @@
+"""A tiny Prometheus scrape endpoint over a live :class:`GraphService`.
+
+``repro serve --metrics-port N`` starts one of these next to the query
+daemon: a stdlib ``ThreadingHTTPServer`` answering ``GET /metrics`` with
+the text exposition format — the service's ``SERVE_METRICS`` registry
+(via :func:`repro.obs.exporters.prometheus_text`, including the query
+latency histogram) followed by one gauge pair per execution lane from
+:meth:`GraphService.heartbeats`:
+
+* ``repro_serve_lane_queries_total{lane="i"}`` — queries the lane ran;
+* ``repro_serve_lane_idle_seconds{lane="i",busy="0|1"}`` — seconds since
+  the lane last changed hands (a busy lane with a growing age is a stuck
+  or long-running query).
+
+No external dependencies, no auth, loopback by default — this is an
+operational scrape surface, not an API.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.obs.exporters import prometheus_text
+
+__all__ = ["MetricsEndpoint", "render_scrape"]
+
+
+def render_scrape(service: Any) -> str:
+    """The full scrape body: registry metrics plus per-lane heartbeats."""
+    lines = [prometheus_text(service.metrics).rstrip("\n")]
+    beats = service.heartbeats()
+    lines.append(
+        "# HELP repro_serve_lane_queries_total "
+        "queries executed by this lane (cache hits take no lane)"
+    )
+    lines.append("# TYPE repro_serve_lane_queries_total counter")
+    for beat in beats:
+        lines.append(
+            f'repro_serve_lane_queries_total{{lane="{beat["lane"]}"}} '
+            f'{beat["queries"]}'
+        )
+    lines.append(
+        "# HELP repro_serve_lane_idle_seconds "
+        "seconds since this lane last started or finished a query"
+    )
+    lines.append("# TYPE repro_serve_lane_idle_seconds gauge")
+    for beat in beats:
+        busy = "1" if beat["busy"] else "0"
+        lines.append(
+            f'repro_serve_lane_idle_seconds{{lane="{beat["lane"]}",'
+            f'busy="{busy}"}} {repr(float(beat["age_s"]))}'
+        )
+    return "\n".join(lines) + "\n"
+
+
+class MetricsEndpoint:
+    """Serve ``GET /metrics`` for one :class:`GraphService` on a
+    background thread.
+
+    ``port=0`` binds an ephemeral port; read the actual one from
+    ``.port`` after :meth:`start`.  ``stop()`` is idempotent and joins
+    the server thread, so the CLI can always call it on the way out.
+    """
+
+    def __init__(self, service: Any, port: int, host: str = "127.0.0.1"):
+        self._service = service
+        self._host = host
+        self._requested_port = port
+        self._httpd = None
+        self._thread = None
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            raise RuntimeError("metrics endpoint is not started")
+        return self._httpd.server_address[1]
+
+    def start(self) -> "MetricsEndpoint":
+        service = self._service
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                if self.path.split("?", 1)[0] != "/metrics":
+                    self.send_error(404, "only /metrics is served here")
+                    return
+                try:
+                    body = render_scrape(service).encode("utf-8")
+                except Exception as exc:  # pragma: no cover - render bug
+                    self.send_error(500, f"metrics render failed: {exc}")
+                    return
+                self.send_response(200)
+                self.send_header(
+                    "Content-Type",
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args: Any) -> None:
+                pass  # scrapes are high-frequency; stay quiet
+
+        self._httpd = ThreadingHTTPServer(
+            (self._host, self._requested_port), Handler
+        )
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-serve-metrics",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsEndpoint":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()

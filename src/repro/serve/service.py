@@ -53,6 +53,7 @@ from repro.core.interval import FOREVER, Interval
 from repro.core.results_io import export_states_json
 from repro.obs.events import EventStream
 from repro.obs.observers import JsonlTraceWriter
+from repro.obs.registry import Histogram
 from repro.query.slice import temporal_slice
 from repro.runtime.checkpoint import graph_fingerprint
 from repro.runtime.cluster import SimulatedCluster
@@ -96,6 +97,10 @@ class ServeMetrics:
     query_seconds: float = 0.0
     last_query_seconds: float = 0.0
     graph_resident_bytes: int = 0
+    #: Latency distribution over every finished query (served, timed out
+    #: or failed) — the registry's one ``histogram``-kind metric, rendered
+    #: by ``prometheus_text`` as ``_bucket``/``_sum``/``_count`` series.
+    query_latency: Histogram = field(default_factory=Histogram)
 
 
 @dataclass(frozen=True)
@@ -172,6 +177,12 @@ class _Lane:
     cluster: SimulatedCluster
     executor: Any
     config: EngineConfig
+    #: ``time.monotonic()`` of the lane's last scheduling transition
+    #: (acquired or released) — the liveness heartbeat the metrics
+    #: endpoint turns into a seconds-since gauge.
+    last_beat: float = 0.0
+    #: Queries this lane has executed (cache hits never take a lane).
+    queries: int = 0
 
 
 class GraphService:
@@ -254,7 +265,10 @@ class GraphService:
                     tracer=cfg.observability.tracer
                 ),
             )
-            self._lanes.append(_Lane(index, cluster, executor, lane_config))
+            self._lanes.append(
+                _Lane(index, cluster, executor, lane_config,
+                      last_beat=time.monotonic())
+            )
 
         from repro.graph.stats import resident_bytes
 
@@ -481,6 +495,7 @@ class GraphService:
         m = self.metrics
         m.query_seconds += latency
         m.last_query_seconds = latency
+        m.query_latency.observe(latency)
         if status == "ok":
             m.queries_served += 1
         elif status == "timeout":
@@ -538,13 +553,35 @@ class GraphService:
             self._waiting.popleft()
             self.metrics.queue_depth = len(self._waiting)
             lane = self._free_lanes.popleft()
+            lane.last_beat = time.monotonic()
+            lane.queries += 1
             self._cond.notify_all()
             return lane
 
     def _release_lane(self, lane: _Lane) -> None:
         with self._cond:
+            lane.last_beat = time.monotonic()
             self._free_lanes.append(lane)
             self._cond.notify_all()
+
+    def heartbeats(self) -> List[Dict[str, Any]]:
+        """Liveness snapshot of every execution lane, for the metrics
+        endpoint's per-worker gauges: lane index, busy flag, queries
+        executed, and seconds since the lane last changed hands.  A busy
+        lane with a growing age is a stuck or long-running query — the
+        serving tier's straggler signal."""
+        now = time.monotonic()
+        with self._cond:
+            free = {id(lane) for lane in self._free_lanes}
+            return [
+                {
+                    "lane": lane.index,
+                    "busy": id(lane) not in free,
+                    "queries": lane.queries,
+                    "age_s": max(0.0, now - lane.last_beat),
+                }
+                for lane in self._lanes
+            ]
 
     # -- the query path ------------------------------------------------------
 

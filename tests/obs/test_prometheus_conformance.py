@@ -1,0 +1,131 @@
+"""Prometheus text exposition-format conformance for `prometheus_text`.
+
+Pins the parts of the format a real scraper is strict about: metric-name
+and label-name charsets, label-value escaping (backslash, double quote,
+line feed), `# HELP` before `# TYPE` before the samples of each family
+with no interleaving, counter `_total` / seconds `_seconds` suffix
+conventions, and histogram series shape (`_bucket` cumulative and
+non-decreasing in `le` order, `+Inf` bucket equal to `_count`).
+"""
+
+import re
+
+import pytest
+
+from repro.obs.exporters import prometheus_text
+from repro.obs.registry import Histogram
+from repro.runtime.metrics import RunMetrics
+from repro.serve.service import ServeMetrics
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})? (\S+)$")
+
+
+def run_metrics(**overrides):
+    fields = dict(platform="GRAPHITE", algorithm="BFS", graph="transit",
+                  executor="serial")
+    fields.update(overrides)
+    return RunMetrics(**fields)
+
+
+def serve_metrics():
+    m = ServeMetrics(graph="transit", executor="serial")
+    for latency in (0.002, 0.002, 0.4, 7.0):
+        m.query_latency.observe(latency)
+    m.queries_served = 4
+    return m
+
+
+def families(text):
+    """(name, help_line_idx, type_line_idx, sample_lines) per family."""
+    out = {}
+    for i, line in enumerate(text.splitlines()):
+        if line.startswith("# HELP "):
+            name = line.split()[2]
+            out.setdefault(name, {"samples": []})["help"] = i
+        elif line.startswith("# TYPE "):
+            name = line.split()[2]
+            out.setdefault(name, {"samples": []})["type"] = i
+        elif line:
+            match = SAMPLE.match(line)
+            assert match, f"unparseable sample line: {line!r}"
+            base = match.group(1)
+            for suffix in ("_bucket", "_sum", "_count"):
+                if base.endswith(suffix) and base[: -len(suffix)] in out:
+                    base = base[: -len(suffix)]
+                    break
+            out.setdefault(base, {"samples": []})["samples"].append((i, line))
+    return out
+
+
+@pytest.mark.parametrize("metrics", [run_metrics(), serve_metrics()],
+                         ids=["run", "serve"])
+def test_names_conform_and_help_precedes_type_precedes_samples(metrics):
+    text = prometheus_text(metrics)
+    fams = families(text)
+    assert fams, "no metric families emitted"
+    for name, fam in fams.items():
+        assert METRIC_NAME.match(name), f"bad metric name {name!r}"
+        assert "help" in fam and "type" in fam, f"{name} missing HELP/TYPE"
+        assert fam["samples"], f"{name} emitted no samples"
+        first_sample = fam["samples"][0][0]
+        assert fam["help"] < fam["type"] < first_sample
+        # The family's block is contiguous: nothing else interleaves.
+        indices = [fam["help"], fam["type"]] + [i for i, _ in fam["samples"]]
+        assert indices == list(range(fam["help"], fam["help"] + len(indices)))
+
+
+def test_label_values_are_escaped():
+    nasty = 'transit "v2"\nwith\\slash'
+    text = prometheus_text(run_metrics(graph=nasty))
+    sample = next(l for l in text.splitlines()
+                  if l.startswith("repro_messages_sent_total{"))
+    assert '\n' not in sample  # splitlines guarantees it; the value survived
+    assert 'graph="transit \\"v2\\"\\nwith\\\\slash"' in sample
+    for line in text.splitlines():
+        match = SAMPLE.match(line) if not line.startswith("#") else None
+        if match and match.group(2):
+            for label in re.findall(r'([a-zA-Z_][a-zA-Z0-9_]*)=',
+                                    match.group(2)):
+                assert LABEL_NAME.match(label)
+
+
+def test_suffix_conventions():
+    text = prometheus_text(serve_metrics())
+    # counters carry _total, time/histogram kinds carry _seconds — and a
+    # spec already named *_seconds is never doubled.
+    assert "# TYPE repro_queries_served_total counter" in text
+    assert "# TYPE repro_query_seconds gauge" in text
+    assert "repro_query_seconds_seconds" not in text
+    assert "repro_query_latency_seconds_seconds" not in text
+    assert "# TYPE repro_query_latency_seconds histogram" in text
+
+
+def test_histogram_series_shape():
+    text = prometheus_text(serve_metrics())
+    buckets = [l for l in text.splitlines()
+               if l.startswith("repro_query_latency_seconds_bucket")]
+    assert buckets, "histogram emitted no _bucket series"
+    counts = [int(l.rsplit(" ", 1)[1]) for l in buckets]
+    assert counts == sorted(counts), "bucket counts must be cumulative"
+    assert 'le="+Inf"' in buckets[-1]
+    count_line = next(l for l in text.splitlines()
+                      if l.startswith("repro_query_latency_seconds_count"))
+    assert counts[-1] == int(count_line.rsplit(" ", 1)[1]) == 4
+    sum_line = next(l for l in text.splitlines()
+                    if l.startswith("repro_query_latency_seconds_sum"))
+    assert float(sum_line.rsplit(" ", 1)[1]) == pytest.approx(7.404)
+    # TYPE declares the family histogram, on the base name.
+    assert "# TYPE repro_query_latency_seconds histogram" in text
+
+
+def test_histogram_cumulative_counts_are_monotone_per_unit():
+    h = Histogram(bounds=(0.1, 1.0, 10.0))
+    for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+        h.observe(v)
+    cumulative = h.cumulative()
+    assert [c for _, c in cumulative] == [1, 3, 4, 5]
+    assert cumulative[-1][0] == float("inf")
+    assert h.count == 5
+    assert h.sum == pytest.approx(56.05)

@@ -1,0 +1,122 @@
+"""Trace durability: a run killed without warning leaves a readable trace.
+
+`JsonlTraceWriter` flushes every record as it is written, and
+`read_trace` drops (with a warning) at most one torn trailing line — so
+SIGKILLing a live parallel run mid-superstep must still leave a trace
+that post-mortem tooling (`repro report`, `scripts/diff_traces.py`) can
+load.  Mid-file corruption stays a hard error.
+"""
+
+import subprocess
+import sys
+import time
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.algorithms import run_algorithm
+from repro.datasets import transit_graph
+from repro.obs.events import encode_event, validate_event
+from repro.obs.exporters import read_trace
+from repro.obs.observers import JsonlTraceWriter
+from repro.runtime.cluster import SimulatedCluster
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+# A real 2-process run whose trace writer sleeps after each record, so
+# the parent can SIGKILL it mid-superstep with certainty.
+CHILD = """
+import sys, time
+sys.path.insert(0, {src!r})
+from repro.algorithms import run_algorithm
+from repro.datasets import transit_graph
+from repro.obs.observers import JsonlTraceWriter
+from repro.runtime.cluster import SimulatedCluster
+
+class SlowWriter(JsonlTraceWriter):
+    def on_event(self, record):
+        super().on_event(record)
+        time.sleep(0.15)
+
+run_algorithm(
+    "BFS", "GRAPHITE", transit_graph(),
+    cluster=SimulatedCluster(5), graph_name="transit",
+    icm_options={{"executor": "parallel", "executor_processes": 2}},
+    observe=SlowWriter(sys.argv[1]),
+)
+"""
+
+
+def _serial_trace(tmp_path):
+    path = tmp_path / "serial.trace"
+    run_algorithm(
+        "BFS", "GRAPHITE", transit_graph(),
+        cluster=SimulatedCluster(5), graph_name="transit",
+        icm_options={"executor": "serial"}, observe=str(path),
+    )
+    return path
+
+
+def test_sigkilled_parallel_run_leaves_readable_trace(tmp_path):
+    path = tmp_path / "killed.trace"
+    proc = subprocess.Popen(
+        [sys.executable, "-c", CHILD.format(src=SRC), str(path)],
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    try:
+        # Wait until the trace is past superstep 1, then kill without
+        # warning while events are still streaming.
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if path.exists() and len(path.read_bytes().splitlines()) >= 8:
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("child never wrote 8 trace records")
+    finally:
+        proc.kill()
+        proc.wait()
+    assert proc.returncode != 0  # killed, not completed
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")  # a torn trailing line may warn
+        records = read_trace(path)
+    assert records, "killed run left no readable records"
+    assert records[0]["type"] == "run_start"
+    assert records[-1]["type"] != "run_end"  # it really died mid-run
+    assert [r["seq"] for r in records] == list(range(len(records)))
+    for record in records:
+        validate_event(record)
+
+
+def test_truncated_trailing_record_dropped_with_warning(tmp_path):
+    path = _serial_trace(tmp_path)
+    intact = read_trace(path)
+    raw = path.read_bytes()
+    path.write_bytes(raw[: len(raw) - len(raw.splitlines()[-1]) // 2 - 1])
+    with pytest.warns(UserWarning, match="truncated trailing trace record"):
+        survivors = read_trace(path)
+    assert survivors == intact[:-1]
+
+
+def test_mid_file_corruption_still_raises(tmp_path):
+    path = _serial_trace(tmp_path)
+    lines = path.read_bytes().splitlines()
+    lines[2] = lines[2][: len(lines[2]) // 2]  # tear a middle record
+    path.write_bytes(b"\n".join(lines) + b"\n")
+    with pytest.raises(ValueError):
+        read_trace(path)
+
+
+def test_writer_flushes_every_record_as_written(tmp_path):
+    source = read_trace(_serial_trace(tmp_path))
+    path = tmp_path / "replay.trace"
+    writer = JsonlTraceWriter(path)
+    for i, record in enumerate(source, start=1):
+        writer.on_event(record)
+        # Without any close(), the file already holds i complete lines.
+        lines = path.read_bytes().splitlines()
+        assert len(lines) == i
+        assert lines[-1] == encode_event(record).encode("utf-8")
+    writer.close()

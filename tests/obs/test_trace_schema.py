@@ -14,6 +14,7 @@ from repro.obs.events import (
     EVENT_SCHEMA_VERSION,
     EVENT_TYPES,
     RUN_LEVEL_TYPES,
+    WORKER_SPAN_PHASES,
     validate_event,
 )
 from repro.obs.exporters import (
@@ -73,14 +74,17 @@ def test_trace_structure(traces, algorithm):
     assert start["data"]["platform"] == "GRAPHITE"
     assert start["data"]["graph"] == "transit"
 
-    # Each superstep contributes the full phase cycle, in order.
+    # Each superstep contributes the full phase cycle, in order; since
+    # schema v5 the barrier additionally publishes one worker_span per
+    # executor worker (exactly one on the serial executor).
     per_step = {}
     for record in records[1:-1]:
         per_step.setdefault(record["superstep"], []).append(record["type"])
     assert sorted(per_step) == list(range(1, end["data"]["supersteps"] + 1))
     for types in per_step.values():
         assert types == ["superstep_start", "compute_phase",
-                         "scatter_phase", "barrier_exchange", "superstep_end"]
+                         "scatter_phase", "barrier_exchange", "worker_span",
+                         "superstep_end"]
 
 
 @pytest.mark.parametrize("algorithm", ALGORITHMS)
@@ -100,6 +104,58 @@ def test_serial_parallel_logical_equivalence(traces, algorithm):
     serial = logical_sequence(traces[(algorithm, "serial")])
     parallel = logical_sequence(traces[(algorithm, "parallel")])
     assert serial == parallel
+
+
+def _spans(records):
+    return [r for r in records if r["type"] == "worker_span"]
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("executor", ("serial", "parallel"))
+def test_worker_spans_cover_every_superstep(traces, algorithm, executor):
+    """One worker_span per worker per superstep, in worker-id order —
+    one for the serial executor, one per process for the parallel one."""
+    records = traces[(algorithm, executor)]
+    workers = 1 if executor == "serial" else 2
+    supersteps = records[-1]["data"]["supersteps"]
+    spans = _spans(records)
+    assert len(spans) == workers * supersteps
+    for step in range(1, supersteps + 1):
+        step_spans = [s for s in spans if s["superstep"] == step]
+        assert [s["data"]["worker"] for s in step_spans] == list(range(workers))
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("executor", ("serial", "parallel"))
+def test_worker_span_wall_invariants(traces, algorithm, executor):
+    """Every span carries the full phase vocabulary and non-negative
+    wall durations that sum exactly to its total."""
+    for span in _spans(traces[(algorithm, executor)]):
+        assert tuple(span["data"]["phases"]) == WORKER_SPAN_PHASES
+        wall = span["wall"]
+        total = wall["total_s"]
+        assert total >= 0.0
+        for phase in WORKER_SPAN_PHASES:
+            assert 0.0 <= wall[f"{phase}_s"] <= total + 1e-9
+        assert sum(wall[f"{p}_s"] for p in WORKER_SPAN_PHASES) == \
+            pytest.approx(total)
+
+
+def test_worker_spans_nested_within_superstep(traces):
+    """Spans are emitted inside their superstep's bracket: strictly after
+    that superstep's barrier_exchange and before its superstep_end."""
+    for records in traces.values():
+        by_seq = {r["seq"]: r for r in records}
+        brackets = {}
+        for record in records:
+            if record["type"] == "barrier_exchange":
+                brackets.setdefault(record["superstep"], {})["lo"] = record["seq"]
+            elif record["type"] == "superstep_end":
+                brackets.setdefault(record["superstep"], {})["hi"] = record["seq"]
+        for span in _spans(records):
+            bracket = brackets[span["superstep"]]
+            assert bracket["lo"] < span["seq"] < bracket["hi"]
+            assert by_seq[bracket["lo"]]["superstep"] == span["superstep"]
 
 
 def test_superstep_events_use_positive_steps(traces):

@@ -1,0 +1,84 @@
+"""`render_workers`: the per-worker straggler table from worker_span records.
+
+Synthetic traces pin down the arithmetic (aggregation across supersteps,
+max/mean imbalance ratios, replay-wins semantics, the empty-trace
+message); a real 2-process run checks the renderer over live schema-v5
+output end to end.
+"""
+
+from repro.algorithms import run_algorithm
+from repro.datasets import transit_graph
+from repro.obs.events import WORKER_SPAN_PHASES
+from repro.obs.exporters import read_trace, render_workers
+from repro.runtime.cluster import SimulatedCluster
+
+
+def span(superstep, worker, **seconds):
+    wall = {f"{phase}_s": seconds.get(phase, 0.0)
+            for phase in WORKER_SPAN_PHASES}
+    wall["total_s"] = sum(wall.values())
+    return {
+        "v": 5, "seq": 0, "type": "worker_span", "superstep": superstep,
+        "data": {"worker": worker, "phases": list(WORKER_SPAN_PHASES)},
+        "wall": wall,
+    }
+
+
+def test_rows_aggregate_across_supersteps_per_worker():
+    records = [
+        span(1, 0, compute=0.010, scatter=0.002),
+        span(1, 1, compute=0.020, barrier_wait=0.001),
+        span(2, 0, compute=0.010),
+        span(2, 1, compute=0.040),
+    ]
+    table = render_workers(records)
+    lines = table.splitlines()
+    assert lines[0].split() == [
+        "worker", *WORKER_SPAN_PHASES, "total",
+    ]
+    row0 = lines[1].split()
+    row1 = lines[2].split()
+    assert row0[0] == "0" and row1[0] == "1"
+    assert row0[1] == "20.000" and row0[2] == "ms"   # compute summed
+    assert row1[1] == "60.000"
+    # totals: worker 0 = 22 ms, worker 1 = 61 ms
+    assert row0[-2] == "22.000" and row1[-2] == "61.000"
+
+
+def test_imbalance_ratio_is_max_over_mean():
+    records = [span(1, 0, compute=0.010), span(1, 1, compute=0.030)]
+    table = render_workers(records)
+    ratio_line = next(l for l in table.splitlines() if "max/mean" in l)
+    # compute: max 30ms / mean 20ms = 1.50x; idle phases render n/a.
+    assert "1.50x" in ratio_line
+    assert "n/a" in ratio_line
+
+
+def test_replayed_superstep_latest_emission_wins():
+    records = [
+        span(1, 0, compute=0.500),   # pre-rollback emission, discarded
+        span(1, 0, compute=0.010),   # replay of the same (step, worker)
+    ]
+    table = render_workers(records)
+    assert "10.000 ms" in table
+    assert "500.000 ms" not in table
+    assert "1 spans over 1 superstep(s)" in table
+
+
+def test_span_free_trace_renders_notice():
+    assert "no worker_span records" in render_workers([])
+
+
+def test_real_parallel_trace_renders_one_row_per_worker(tmp_path):
+    path = tmp_path / "pr-parallel.trace"
+    run_algorithm(
+        "PR", "GRAPHITE", transit_graph(),
+        cluster=SimulatedCluster(5), graph_name="transit",
+        icm_options={"executor": "parallel", "executor_processes": 2},
+        observe=str(path),
+    )
+    table = render_workers(read_trace(path))
+    lines = table.splitlines()
+    assert lines[1].lstrip().startswith("0 ")
+    assert lines[2].lstrip().startswith("1 ")
+    assert "2 worker(s)" in table
